@@ -1,0 +1,454 @@
+(* Command-line interface to the SLP-DAS library.
+
+   Subcommands:
+     topology    print a topology and its source/sink/∆ss facts
+     schedule    build a DAS schedule (optionally SLP-refined) and check it
+     verify      run VerifySchedule (Algorithm 1) against an attacker
+     simulate    one full discrete-event run with an attacker
+     experiment  capture-ratio sweeps (the Fig. 5 experiment) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dim_arg =
+  let doc = "Grid dimension (the paper uses 11, 15 and 21)." in
+  Arg.(value & opt int 11 & info [ "d"; "dim" ] ~docv:"DIM" ~doc)
+
+let seed_arg =
+  let doc = "Root random seed." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let sd_arg =
+  let doc = "Search distance SD (Table I: 3 or 5)." in
+  Arg.(value & opt int 3 & info [ "search-distance" ] ~docv:"SD" ~doc)
+
+let gap_arg =
+  let doc =
+    "Decoy slot gap for Phase 3 (1 = paper-literal nSlot-1; larger values \
+     harden the lure)."
+  in
+  Arg.(value & opt int 1 & info [ "gap" ] ~docv:"GAP" ~doc)
+
+let slp_arg =
+  let doc = "Apply the SLP refinement (Phases 2-3); default protectionless." in
+  Arg.(value & flag & info [ "slp" ] ~doc)
+
+let runs_arg =
+  let doc = "Number of seeded runs." in
+  Arg.(value & opt int 50 & info [ "n"; "runs" ] ~docv:"RUNS" ~doc)
+
+let topology_of_dim dim = Slpdas_wsn.Topology.grid dim
+
+let params_of ~sd ~gap =
+  { (Slpdas_exp.Params.with_search_distance sd Slpdas_exp.Params.default) with
+    Slpdas_exp.Params.refine_gap = gap }
+
+let build_schedule ~topo ~seed ~slp ~sd ~gap =
+  let g = topo.Slpdas_wsn.Topology.graph in
+  let rng = Slpdas_util.Rng.create seed in
+  let das = Slpdas_core.Das_build.build ~rng g ~sink:topo.Slpdas_wsn.Topology.sink in
+  if not slp then (das.Slpdas_core.Das_build.schedule, None)
+  else begin
+    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topo in
+    let change_length = max 1 (delta_ss - sd) in
+    match
+      Slpdas_core.Slp_refine.refine ~rng ~gap g ~das ~search_distance:sd
+        ~change_length
+    with
+    | Some r -> (r.Slpdas_core.Slp_refine.refined, Some r)
+    | None -> (das.Slpdas_core.Das_build.schedule, None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run dim =
+    let topo = topology_of_dim dim in
+    Format.printf "%a@." Slpdas_wsn.Topology.pp topo;
+    Format.printf "source-sink distance (dss): %d@."
+      (Slpdas_wsn.Topology.source_sink_distance topo);
+    Format.printf "diameter: %d@."
+      (Slpdas_wsn.Graph.diameter topo.Slpdas_wsn.Topology.graph)
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Describe a grid topology")
+    Term.(const run $ dim_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_cmd =
+  let run dim seed slp sd gap show_grid save =
+    let topo = topology_of_dim dim in
+    let g = topo.Slpdas_wsn.Topology.graph in
+    let schedule, refinement = build_schedule ~topo ~seed ~slp ~sd ~gap in
+    (match save with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Slpdas_core.Schedule.to_string schedule);
+      close_out oc;
+      Format.printf "saved to %s@." path
+    | None -> ());
+    if show_grid then
+      Format.printf "%a@." (Slpdas_core.Schedule.pp_grid ~dim) schedule;
+    (match refinement with
+    | Some r ->
+      Format.printf "search path: %s@."
+        (String.concat " -> "
+           (List.map string_of_int r.Slpdas_core.Slp_refine.search_path));
+      Format.printf "change path: %s@."
+        (String.concat " -> "
+           (List.map string_of_int r.Slpdas_core.Slp_refine.change_path))
+    | None -> ());
+    let report name violations =
+      match violations with
+      | [] -> Format.printf "%s: OK@." name
+      | vs ->
+        Format.printf "%s: %d violation(s)@." name (List.length vs);
+        List.iter
+          (fun v ->
+            Format.printf "  %s@." (Slpdas_core.Das_check.violation_to_string v))
+          vs
+    in
+    report "strong DAS (Def. 2)" (Slpdas_core.Das_check.check_strong g schedule);
+    report "weak DAS (Def. 3)" (Slpdas_core.Das_check.check_weak g schedule)
+  in
+  let grid_arg =
+    Arg.(value & flag & info [ "grid" ] ~doc:"Print the slot field as a matrix.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the schedule to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Build and check a DAS schedule")
+    Term.(
+      const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ grid_arg
+      $ save_arg)
+
+(* ------------------------------------------------------------------ *)
+(* coverage                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_cmd =
+  let run dim seed slp sd gap load =
+    let topo = topology_of_dim dim in
+    let g = topo.Slpdas_wsn.Topology.graph in
+    let schedule =
+      match load with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        begin match Slpdas_core.Schedule.of_string text with
+        | Ok s -> s
+        | Error reason -> failwith ("could not load schedule: " ^ reason)
+        end
+      | None -> fst (build_schedule ~topo ~seed ~slp ~sd ~gap)
+    in
+    let attacker =
+      Slpdas_core.Attacker.canonical ~start:topo.Slpdas_wsn.Topology.sink
+    in
+    let coverage = Slpdas_core.Coverage.analyse g schedule ~attacker in
+    Format.printf "protected sources: %d/%d (%.1f%%)@."
+      coverage.Slpdas_core.Coverage.protected_sources
+      coverage.Slpdas_core.Coverage.total_sources
+      (100.0 *. Slpdas_core.Coverage.protected_fraction coverage);
+    (match coverage.Slpdas_core.Coverage.min_capture_periods with
+    | Some p -> Format.printf "fastest capture: %d periods@." p
+    | None -> Format.printf "no source is capturable@.");
+    Format.printf "map (.=protected, X=vulnerable, K=sink):@.%a@."
+      (Slpdas_core.Coverage.pp_grid ~dim)
+      coverage
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE" ~doc:"Load the schedule from FILE.")
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Certify every node as a potential source (SLP coverage map)")
+    Term.(const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ load_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let attacker_args =
+  let r =
+    Arg.(value & opt int 1 & info [ "r" ] ~docv:"R" ~doc:"Messages heard per move.")
+  in
+  let h =
+    Arg.(value & opt int 0 & info [ "history" ] ~docv:"H" ~doc:"History size.")
+  in
+  let m =
+    Arg.(value & opt int 1 & info [ "m" ] ~docv:"M" ~doc:"Moves per period.")
+  in
+  (r, h, m)
+
+let verify_cmd =
+  let r_arg, h_arg, m_arg = attacker_args in
+  let run dim seed slp sd gap r h m =
+    let topo = topology_of_dim dim in
+    let g = topo.Slpdas_wsn.Topology.graph in
+    let schedule, _ = build_schedule ~topo ~seed ~slp ~sd ~gap in
+    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topo in
+    let safety_period = Slpdas_core.Safety.safety_periods ~delta_ss () in
+    let attacker =
+      Slpdas_core.Attacker.make ~r ~h ~m ~start:topo.Slpdas_wsn.Topology.sink ()
+    in
+    Format.printf "safety period: %d TDMA periods@." safety_period;
+    match
+      Slpdas_core.Verifier.verify g schedule ~attacker ~safety_period
+        ~source:topo.Slpdas_wsn.Topology.source
+    with
+    | Slpdas_core.Verifier.Safe ->
+      Format.printf "verdict: SLP-aware (no admissible trace captures)@."
+    | Slpdas_core.Verifier.Captured { trace; periods } ->
+      Format.printf "verdict: CAPTURED in %d periods@." periods;
+      Format.printf "counterexample: %s@."
+        (String.concat " -> " (List.map string_of_int trace))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run VerifySchedule (Algorithm 1)")
+    Term.(
+      const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ r_arg
+      $ h_arg $ m_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run dim seed slp sd gap trace_count =
+    let topo = topology_of_dim dim in
+    let mode =
+      if slp then Slpdas_core.Protocol.Slp
+      else Slpdas_core.Protocol.Protectionless
+    in
+    let config =
+      {
+        (Slpdas_exp.Runner.default_config ~topology:topo ~mode ~seed) with
+        Slpdas_exp.Runner.params = params_of ~sd ~gap;
+      }
+    in
+    let trace = ref None in
+    let instrument engine =
+      if trace_count > 0 then
+        trace :=
+          Some
+            (Slpdas_sim.Trace.attach ~capacity:1_000_000 engine
+               ~describe:Slpdas_core.Messages.describe)
+    in
+    let r = Slpdas_exp.Runner.run ~instrument config in
+    (match !trace with
+    | Some t ->
+      Format.printf "first %d transmissions:@." trace_count;
+      List.iteri
+        (fun i e ->
+          if i < trace_count then
+            Format.printf "  %8.3f  node %-4d %s@." e.Slpdas_sim.Trace.time
+              e.Slpdas_sim.Trace.sender e.Slpdas_sim.Trace.label)
+        (Slpdas_sim.Trace.entries t)
+    | None -> ());
+    Format.printf "mode: %s; seed %d; dss=%d; safety period %.1fs@."
+      (if slp then "SLP DAS" else "protectionless DAS")
+      seed r.Slpdas_exp.Runner.delta_ss r.Slpdas_exp.Runner.safety_seconds;
+    Format.printf "schedule: complete=%b strong=%b weak=%b@."
+      r.Slpdas_exp.Runner.complete r.Slpdas_exp.Runner.strong_das
+      r.Slpdas_exp.Runner.weak_das;
+    Format.printf "messages: setup=%d total=%d@." r.Slpdas_exp.Runner.setup_messages
+      r.Slpdas_exp.Runner.total_messages;
+    Format.printf "attacker path: %s@."
+      (String.concat " -> "
+         (List.map string_of_int r.Slpdas_exp.Runner.attacker_path));
+    match (r.Slpdas_exp.Runner.captured, r.Slpdas_exp.Runner.capture_seconds) with
+    | true, Some t -> Format.printf "outcome: CAPTURED after %.1fs@." t
+    | _ -> Format.printf "outcome: source safe@."
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Print the first N radio transmissions of the run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"One full discrete-event run")
+    Term.(const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* phantom                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let phantom_cmd =
+  let run dim runs walk_length =
+    let topo = topology_of_dim dim in
+    let captures = ref 0 and times = ref [] and msgs = ref 0 in
+    for seed = 0 to runs - 1 do
+      let r =
+        Slpdas_exp.Phantom_runner.run
+          { topology = topo; walk_length; link = Slpdas_sim.Link_model.Ideal; seed }
+      in
+      if r.Slpdas_exp.Phantom_runner.captured then begin
+        incr captures;
+        match r.Slpdas_exp.Phantom_runner.capture_seconds with
+        | Some t -> times := t :: !times
+        | None -> ()
+      end;
+      msgs := !msgs + r.Slpdas_exp.Phantom_runner.messages_sent
+    done;
+    Format.printf
+      "phantom routing (walk %d) on %dx%d over %d runs:@.  capture ratio %.1f%%@."
+      walk_length dim dim runs
+      (100.0 *. float_of_int !captures /. float_of_int runs);
+    (match !times with
+    | [] -> ()
+    | ts ->
+      Format.printf "  mean capture time %.1fs@." (Slpdas_util.Stats.mean ts));
+    Format.printf "  mean transmissions per run %d@." (!msgs / max 1 runs)
+  in
+  let walk_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "walk" ] ~docv:"W"
+          ~doc:"Directed random-walk length (0 = pure flooding).")
+  in
+  Cmd.v
+    (Cmd.info "phantom"
+       ~doc:"Run the routing-layer phantom baseline (related work, SII)")
+    Term.(const run $ dim_arg $ runs_arg $ walk_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fake sources                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fake_cmd =
+  let run dim runs rate =
+    let topo = topology_of_dim dim in
+    let corners = Slpdas_core.Fake_source.opposite_corners topo ~dim in
+    let captures = ref 0 and msgs = ref 0 and real = ref 0 in
+    for seed = 0 to runs - 1 do
+      let r =
+        Slpdas_exp.Fake_runner.run
+          {
+            topology = topo;
+            fake_sources = corners;
+            fake_rate_multiplier = rate;
+            link = Slpdas_sim.Link_model.Ideal;
+            seed;
+          }
+      in
+      if r.Slpdas_exp.Fake_runner.captured then incr captures;
+      msgs := !msgs + r.Slpdas_exp.Fake_runner.messages_sent;
+      real := !real + r.Slpdas_exp.Fake_runner.real_delivered
+    done;
+    Format.printf
+      "fake sources at %s (rate x%.1f) on %dx%d over %d runs:@."
+      (String.concat "," (List.map string_of_int corners))
+      rate dim dim runs;
+    Format.printf "  capture ratio %.1f%%@."
+      (100.0 *. float_of_int !captures /. float_of_int runs);
+    Format.printf "  transmissions per delivered reading %.0f@."
+      (float_of_int !msgs /. float_of_int (max 1 !real))
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"X"
+          ~doc:"Decoy chatter relative to the source's rate.")
+  in
+  Cmd.v
+    (Cmd.info "fake"
+       ~doc:"Run the fake-source baseline (related work, SII refs [10]-[12])")
+    Term.(const run $ dim_arg $ runs_arg $ rate_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let run dim runs sd gap fast show_params =
+    let topo = topology_of_dim dim in
+    let params = params_of ~sd ~gap in
+    if show_params then begin
+      let rows =
+        List.map
+          (fun (name, sym, _desc, value) -> [ name; sym; value ])
+          (Slpdas_exp.Params.table_rows params)
+      in
+      print_string
+        (Slpdas_util.Tabular.render ~header:[ "Parameter"; "Symbol"; "Value" ] rows)
+    end;
+    let seeds = Slpdas_exp.Capture.seeds ~base:1000 ~runs in
+    let attacker ~start = Slpdas_core.Attacker.canonical ~start in
+    let summary mode =
+      if fast then
+        Slpdas_exp.Capture.centralized ~topology:topo ~mode ~params ~attacker ~seeds
+      else
+        Slpdas_exp.Capture.simulated ~topology:topo ~mode ~params
+          ~link:Slpdas_sim.Link_model.Ideal ~attacker ~seeds
+    in
+    let prot = summary Slpdas_core.Protocol.Protectionless in
+    let slp = summary Slpdas_core.Protocol.Slp in
+    let row name (s : Slpdas_exp.Capture.summary) =
+      let lo, hi = s.Slpdas_exp.Capture.ci95 in
+      [
+        name;
+        Printf.sprintf "%.1f%%" (Slpdas_exp.Capture.ratio_percent s);
+        Printf.sprintf "[%.1f, %.1f]" (100. *. lo) (100. *. hi);
+        string_of_int s.Slpdas_exp.Capture.captures;
+        string_of_int s.Slpdas_exp.Capture.runs;
+        Printf.sprintf "%.0f" s.Slpdas_exp.Capture.mean_setup_messages;
+      ]
+    in
+    print_string
+      (Slpdas_util.Tabular.render
+         ~header:[ "algorithm"; "capture"; "95% CI"; "captures"; "runs"; "setup msgs" ]
+         [ row "Protectionless DAS" prot; row "SLP DAS" slp ])
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Use the centralized construction + Algorithm 1 instead of the \
+             full discrete-event simulation.")
+  in
+  let show_params_arg =
+    Arg.(value & flag & info [ "show-params" ] ~doc:"Print Table I first.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Capture-ratio experiment (Fig. 5)")
+    Term.(
+      const run $ dim_arg $ runs_arg $ sd_arg $ gap_arg $ fast_arg
+      $ show_params_arg)
+
+let () =
+  let info =
+    Cmd.info "slp_das_cli" ~version:"1.0.0"
+      ~doc:"Source-location-privacy-aware data aggregation scheduling"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            topology_cmd;
+            schedule_cmd;
+            coverage_cmd;
+            verify_cmd;
+            simulate_cmd;
+            phantom_cmd;
+            fake_cmd;
+            experiment_cmd;
+          ]))

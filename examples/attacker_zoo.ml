@@ -1,0 +1,98 @@
+(* Attacker zoo: exercising the parameterised (R, H, M, s0, D) eavesdropper.
+
+   The paper's generic attacker model (§III-B) "allows the development and
+   understanding of attackers of various strengths".  This example sweeps
+   R, H, M and the decision function D against the same pair of schedules
+   (protectionless and SLP-refined) and reports the capture ratio of each
+   attacker class over seeded runs, using the verifier as the exact oracle.
+
+   Run with:  dune exec examples/attacker_zoo.exe *)
+
+let () =
+  let topology = Slpdas_wsn.Topology.grid 11 in
+  let g = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let safety_period = Slpdas_core.Safety.safety_periods ~delta_ss () in
+  let runs = 60 in
+
+  (* Attacker classes.  The paper's evaluation uses the first. *)
+  let zoo =
+    [
+      ("(1,0,1) lowest-slot [paper]", fun start -> Slpdas_core.Attacker.canonical ~start);
+      ( "(2,0,1) lowest-slot",
+        fun start -> Slpdas_core.Attacker.make ~r:2 ~h:0 ~m:1 ~start () );
+      ( "(1,0,2) lowest-slot",
+        fun start -> Slpdas_core.Attacker.make ~r:1 ~h:0 ~m:2 ~start () );
+      ( "(1,0,3) lowest-slot",
+        fun start -> Slpdas_core.Attacker.make ~r:1 ~h:0 ~m:3 ~start () );
+      ( "(2,4,1) history-avoiding",
+        fun start ->
+          Slpdas_core.Attacker.make
+            ~decide:Slpdas_core.Attacker.lowest_slot_avoiding_history
+            ~decide_name:"history-avoiding" ~r:2 ~h:4 ~m:1 ~start () );
+      ( "(2,4,2) history-avoiding",
+        fun start ->
+          Slpdas_core.Attacker.make
+            ~decide:Slpdas_core.Attacker.lowest_slot_avoiding_history
+            ~decide_name:"history-avoiding" ~r:2 ~h:4 ~m:2 ~start () );
+      ( "(3,6,3) history-avoiding",
+        fun start ->
+          Slpdas_core.Attacker.make
+            ~decide:Slpdas_core.Attacker.lowest_slot_avoiding_history
+            ~decide_name:"history-avoiding" ~r:3 ~h:6 ~m:3 ~start () );
+    ]
+  in
+
+  let ratio make_attacker ~slp =
+    let captures = ref 0 in
+    for seed = 0 to runs - 1 do
+      let rng = Slpdas_util.Rng.create seed in
+      let das = Slpdas_core.Das_build.build ~rng g ~sink in
+      let schedule =
+        if not slp then das.Slpdas_core.Das_build.schedule
+        else begin
+          match
+            Slpdas_core.Slp_refine.refine ~rng ~gap:2 g ~das ~search_distance:3
+              ~change_length:(max 1 (delta_ss - 3))
+          with
+          | Some r -> r.Slpdas_core.Slp_refine.refined
+          | None -> das.Slpdas_core.Das_build.schedule
+        end
+      in
+      match
+        Slpdas_core.Verifier.verify g schedule ~attacker:(make_attacker sink)
+          ~safety_period ~source
+      with
+      | Slpdas_core.Verifier.Captured _ -> incr captures
+      | Slpdas_core.Verifier.Safe -> ()
+    done;
+    100.0 *. float_of_int !captures /. float_of_int runs
+  in
+
+  let rows =
+    List.map
+      (fun (name, make_attacker) ->
+        [
+          name;
+          Printf.sprintf "%.1f%%" (ratio make_attacker ~slp:false);
+          Printf.sprintf "%.1f%%" (ratio make_attacker ~slp:true);
+        ])
+      zoo
+  in
+  Format.printf
+    "capture ratio by attacker class (11x11 grid, %d seeded runs, exact verifier)@.@."
+    runs;
+  print_string
+    (Slpdas_util.Tabular.render
+       ~header:[ "attacker (R,H,M) and D"; "protectionless"; "SLP DAS" ]
+       rows);
+  Format.printf
+    "@.Reading: raising R, H or M alone changes nothing - the lowest-slot@.\
+     decision still walks the same gradient, and with M = 1 an attacker can@.\
+     never take the ascending step a trap escape needs.  Escaping the decoy@.\
+     requires hearing an alternative (R >= 2), remembering not to fall back@.\
+     (H > 0) and a spare move to climb (M >= 2) all at once.  The paper's@.\
+     defence explicitly targets 'a specific class of eavesdroppers' (SVII);@.\
+     this table shows precisely where that class boundary lies.@."

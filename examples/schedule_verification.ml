@@ -1,0 +1,116 @@
+(* VerifySchedule as a design tool.
+
+   A network operator hand-crafts a TDMA schedule, asks the decision
+   procedure (Algorithm 1) whether it is SLP-aware, reads the returned
+   counterexample, applies the 3-phase refinement and verifies again —
+   the develop / model-check / repair loop the paper's §IV-C envisions.
+
+   Run with:  dune exec examples/schedule_verification.exe *)
+
+let print_verdict g schedule ~attacker ~safety_period ~source =
+  match Slpdas_core.Verifier.verify g schedule ~attacker ~safety_period ~source with
+  | Slpdas_core.Verifier.Safe ->
+    Format.printf "  verdict: delta-SLP-aware (True, _|_, %d)@." safety_period;
+    true
+  | Slpdas_core.Verifier.Captured { trace; periods } ->
+    Format.printf "  verdict: NOT SLP-aware (False, pc, %d)@." periods;
+    Format.printf "  counterexample pc: %s@."
+      (String.concat " -> " (List.map string_of_int trace));
+    false
+
+let () =
+  let dim = 9 in
+  let topology = Slpdas_wsn.Topology.grid dim in
+  let g = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let safety_period = Slpdas_core.Safety.safety_periods ~delta_ss () in
+  let attacker = Slpdas_core.Attacker.canonical ~start:sink in
+
+  Format.printf "grid %dx%d, source %d, sink %d, safety period %d periods@.@."
+    dim dim source sink safety_period;
+
+  (* Step 1: a naive schedule — slot = delta - hop distance.  It is a valid
+     weak DAS but its slot field is a perfect gradient pointing at every
+     corner, so the attacker reads it like a map. *)
+  Format.printf "step 1: naive gradient schedule (slot = 100 - 2 x hop)@.";
+  let dist = Slpdas_wsn.Graph.bfs_distances g sink in
+  let naive = Slpdas_core.Schedule.create ~n:(Slpdas_wsn.Graph.n g) ~sink in
+  for v = 0 to Slpdas_wsn.Graph.n g - 1 do
+    if v <> sink then Slpdas_core.Schedule.assign naive v (100 - (2 * dist.(v)))
+  done;
+  Format.printf "  weak DAS: %b; collisions everywhere though:@."
+    (Slpdas_core.Das_check.check_weak g naive
+     |> List.for_all (function
+          | Slpdas_core.Das_check.Collision _ -> true
+          | _ -> false));
+  Format.printf "  (%d 2-hop collisions - equidistant nodes share slots)@."
+    (List.length (Slpdas_core.Das_check.collisions g naive));
+  ignore (print_verdict g naive ~attacker ~safety_period ~source);
+
+  (* Step 2: a proper Phase-1 schedule: collision-free strong DAS, but the
+     verifier may still find a capture trace for unlucky seeds. *)
+  Format.printf "@.step 2: Phase-1 DAS schedule (Fig. 2, seeded construction)@.";
+  let rec first_unsafe seed =
+    if seed > 5000 then failwith "no capturing seed found"
+    else begin
+      let rng = Slpdas_util.Rng.create seed in
+      let das = Slpdas_core.Das_build.build ~rng g ~sink in
+      match
+        Slpdas_core.Verifier.verify g das.Slpdas_core.Das_build.schedule ~attacker
+          ~safety_period ~source
+      with
+      | Slpdas_core.Verifier.Captured _ -> (seed, das)
+      | Slpdas_core.Verifier.Safe -> first_unsafe (seed + 1)
+    end
+  in
+  let seed, das = first_unsafe 0 in
+  Format.printf "  seed %d builds a strong DAS: %b@." seed
+    (Slpdas_core.Das_check.is_strong g das.Slpdas_core.Das_build.schedule);
+  ignore
+    (print_verdict g das.Slpdas_core.Das_build.schedule ~attacker ~safety_period
+       ~source);
+
+  (* Step 3: apply Phases 2-3 and re-verify. *)
+  Format.printf "@.step 3: apply the slot refinement (Figs. 3-4) and re-verify@.";
+  (match
+     Slpdas_core.Slp_refine.refine
+       ~rng:(Slpdas_util.Rng.create seed)
+       ~gap:2 g ~das ~search_distance:3
+       ~change_length:(max 1 (delta_ss - 3))
+   with
+  | None -> Format.printf "  no redirection start found@."
+  | Some r ->
+    Format.printf "  decoy path: %s@."
+      (String.concat " -> "
+         (List.map string_of_int r.Slpdas_core.Slp_refine.change_path));
+    Format.printf "  weak DAS after refinement: %b@."
+      (Slpdas_core.Das_check.is_weak g r.Slpdas_core.Slp_refine.refined);
+    let safe =
+      print_verdict g r.Slpdas_core.Slp_refine.refined ~attacker ~safety_period
+        ~source
+    in
+    if safe then begin
+      (* Def. 5 condition 2: capture time strictly increased. *)
+      match
+        Slpdas_core.Verifier.capture_time g r.Slpdas_core.Slp_refine.refined
+          ~attacker ~source ~limit:(8 * delta_ss)
+      with
+      | None -> Format.printf "  capture time: unbounded (attacker trapped)@."
+      | Some (p, _) ->
+        Format.printf "  capture time pushed to %d periods (> delta = %d)@." p
+          safety_period
+    end);
+
+  (* Step 4: the same schedule against a stronger attacker class. *)
+  Format.printf
+    "@.step 4: strength of the guarantee - a (1,2,1) history-avoiding attacker@.";
+  let strong_attacker =
+    Slpdas_core.Attacker.make
+      ~decide:Slpdas_core.Attacker.lowest_slot_avoiding_history
+      ~decide_name:"lowest-slot-avoiding-history" ~r:1 ~h:2 ~m:1 ~start:sink ()
+  in
+  ignore
+    (print_verdict g das.Slpdas_core.Das_build.schedule ~attacker:strong_attacker
+       ~safety_period ~source)

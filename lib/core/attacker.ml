@@ -1,0 +1,136 @@
+type heard = { location : int; slot : int }
+
+type decide = heard:heard list -> history:int list -> current:int -> int list
+
+type params = {
+  r : int;
+  h : int;
+  m : int;
+  start : int;
+  decide : decide;
+  decide_name : string;
+}
+
+let lowest_slot ~heard ~history:_ ~current =
+  match heard with
+  | [] -> []
+  | { location; _ } :: _ -> if location = current then [] else [ location ]
+
+let lowest_slot_avoiding_history ~heard ~history ~current =
+  let fresh =
+    List.filter
+      (fun { location; _ } ->
+        location <> current && not (List.mem location history))
+      heard
+  in
+  match fresh with [] -> [] | { location; _ } :: _ -> [ location ]
+
+let random_heard rng ~heard ~history:_ ~current =
+  match List.filter (fun { location; _ } -> location <> current) heard with
+  | [] -> []
+  | candidates ->
+    [ (Slpdas_util.Rng.choose rng candidates).location ]
+
+let second_lowest ~heard ~history:_ ~current =
+  match heard with
+  | _ :: ({ location; _ } :: _ as _rest) when location <> current -> [ location ]
+  | _ -> []
+
+let epsilon_greedy rng ~epsilon =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Attacker.epsilon_greedy: epsilon outside [0, 1]";
+  fun ~heard ~history ~current ->
+    if Slpdas_util.Rng.bernoulli rng epsilon then
+      random_heard rng ~heard ~history ~current
+    else lowest_slot ~heard ~history ~current
+
+let make ?(decide = lowest_slot) ?(decide_name = "lowest-slot") ~r ~h ~m ~start
+    () =
+  if r < 1 then invalid_arg "Attacker.make: r must be >= 1";
+  if m < 1 then invalid_arg "Attacker.make: m must be >= 1";
+  if h < 0 then invalid_arg "Attacker.make: h must be >= 0";
+  { r; h; m; start; decide; decide_name }
+
+let canonical ~start = make ~r:1 ~h:0 ~m:1 ~start ()
+
+let heard_by g sched ~at ~r =
+  let audible =
+    at :: Array.to_list (Slpdas_wsn.Graph.neighbours g at)
+    |> List.filter_map (fun v ->
+           match Schedule.slot sched v with
+           | Some slot -> Some { location = v; slot }
+           | None -> None)
+  in
+  let by_slot = List.sort (fun a b -> compare a.slot b.slot) audible in
+  List.filteri (fun i _ -> i < r) by_slot
+
+module State = struct
+  type t = {
+    params : params;
+    mutable location : int;
+    mutable buffer : heard list;  (* reversed arrival order *)
+    mutable moves_made : int;
+    mutable total_moves : int;
+    mutable history : int list;
+    mutable path_rev : int list;
+  }
+
+  let create params =
+    {
+      params;
+      location = params.start;
+      buffer = [];
+      moves_made = 0;
+      total_moves = 0;
+      history = [];
+      path_rev = [ params.start ];
+    }
+
+  let params t = t.params
+
+  let location t = t.location
+
+  let moves_made t = t.moves_made
+
+  let total_moves t = t.total_moves
+
+  let history t = t.history
+
+  let path t = List.rev t.path_rev
+
+  let hear t ~location ~slot =
+    if List.length t.buffer < t.params.r then
+      t.buffer <- { location; slot } :: t.buffer
+
+  let truncate n xs = List.filteri (fun i _ -> i < n) xs
+
+  let decide t =
+    if t.buffer = [] || t.moves_made >= t.params.m then false
+    else begin
+      let heard = List.rev t.buffer in
+      let candidates =
+        t.params.decide ~heard ~history:t.history ~current:t.location
+      in
+      t.buffer <- [];
+      (* Fig. 1 consumes a move for every decision, including one that keeps
+         the current location (D returned curloc, or no fresh candidate):
+         the attacker committed its period budget to the messages heard. *)
+      let next =
+        match candidates with [] -> t.location | next :: _ -> next
+      in
+      if t.params.h > 0 then
+        t.history <- truncate t.params.h (t.location :: t.history);
+      let moved = next <> t.location in
+      t.location <- next;
+      t.moves_made <- t.moves_made + 1;
+      if moved then begin
+        t.total_moves <- t.total_moves + 1;
+        t.path_rev <- next :: t.path_rev
+      end;
+      moved
+    end
+
+  let period_end t =
+    t.buffer <- [];
+    t.moves_made <- 0
+end

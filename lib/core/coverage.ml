@@ -1,0 +1,82 @@
+type verdict = {
+  source : int;
+  safety_period : int;
+  outcome : Verifier.outcome;
+}
+
+type t = {
+  verdicts : verdict list;
+  protected_sources : int;
+  total_sources : int;
+  min_capture_periods : int option;
+}
+
+let protected_fraction t =
+  if t.total_sources = 0 then 1.0
+  else float_of_int t.protected_sources /. float_of_int t.total_sources
+
+let analyse ?(factor = 1.5) g sched ~attacker =
+  let sink = Schedule.sink sched in
+  let dist = Slpdas_wsn.Graph.bfs_distances g sink in
+  let verdicts =
+    List.filter_map
+      (fun source ->
+        if source = sink || dist.(source) < 0 then None
+        else begin
+          let safety_period =
+            Safety.safety_periods ~factor ~delta_ss:dist.(source) ()
+          in
+          let outcome =
+            Verifier.verify g sched ~attacker ~safety_period ~source
+          in
+          Some { source; safety_period; outcome }
+        end)
+      (List.init (Slpdas_wsn.Graph.n g) Fun.id)
+  in
+  let protected_sources =
+    List.length
+      (List.filter (fun v -> v.outcome = Verifier.Safe) verdicts)
+  in
+  let min_capture_periods =
+    List.fold_left
+      (fun acc v ->
+        match v.outcome with
+        | Verifier.Safe -> acc
+        | Verifier.Captured { periods; _ } ->
+          Some (match acc with None -> periods | Some p -> min p periods))
+      None verdicts
+  in
+  {
+    verdicts;
+    protected_sources;
+    total_sources = List.length verdicts;
+    min_capture_periods;
+  }
+
+let vulnerable t =
+  List.filter_map
+    (fun v ->
+      match v.outcome with
+      | Verifier.Safe -> None
+      | Verifier.Captured _ -> Some v.source)
+    t.verdicts
+  |> List.sort compare
+
+let pp_grid ~dim ppf t =
+  let lookup = Hashtbl.create (dim * dim) in
+  List.iter (fun v -> Hashtbl.replace lookup v.source v.outcome) t.verdicts;
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to dim - 1 do
+    for c = 0 to dim - 1 do
+      let v = (r * dim) + c in
+      let cell =
+        match Hashtbl.find_opt lookup v with
+        | Some Verifier.Safe -> '.'
+        | Some (Verifier.Captured _) -> 'X'
+        | None -> 'K'
+      in
+      Format.fprintf ppf " %c" cell
+    done;
+    Format.fprintf ppf "@ "
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Network-wide SLP certification.
+
+    The paper verifies one source at a time (Def. 6); an operator deploying
+    an asset-monitoring network wants the whole map: {e which} nodes are
+    δ-SLP-aware sources under a given schedule and attacker?  This module
+    runs the decision procedure for every candidate source and aggregates
+    the answers, giving the protected fraction of the network — a coverage
+    metric the bench harness tracks across protocols.
+
+    Safety periods are per-source: each node [v] gets
+    [δ(v) = ⌈Cs × (hop(v, sink) + 1)⌉] periods (Eq. 1 instantiated at [v]),
+    so a node close to the sink is held to a tight bound and a remote node
+    to a generous one. *)
+
+type verdict = {
+  source : int;
+  safety_period : int;  (** δ(source) in TDMA periods *)
+  outcome : Verifier.outcome;
+}
+
+type t = {
+  verdicts : verdict list;  (** one per non-sink node, in node order *)
+  protected_sources : int;  (** sources with [outcome = Safe] *)
+  total_sources : int;
+  min_capture_periods : int option;
+      (** fastest capture over all vulnerable sources *)
+}
+
+val protected_fraction : t -> float
+
+val analyse :
+  ?factor:float ->
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  t
+(** [analyse g sched ~attacker] certifies every non-sink node reachable from
+    the sink as a potential source.  [factor] is Cs (default 1.5).
+    Unreachable nodes are skipped (they can never be traced to anyway). *)
+
+val vulnerable : t -> int list
+(** Sources the attacker can capture within their safety period, ascending. *)
+
+val pp_grid : dim:int -> Format.formatter -> t -> unit
+(** Render the verdict map of a [dim × dim] grid: [.] protected, [X]
+    vulnerable, [K] the sink. *)

@@ -1,0 +1,252 @@
+type result = {
+  schedule : Schedule.t;
+  parent : int option array;
+  hop : int array;
+}
+
+let default_delta = 100
+
+(* Run-salted total order on node identifiers.  The paper breaks collision
+   ties "larger identifier decrements"; applied verbatim this systematically
+   pushes low slots towards high-id regions of the grid.  In the paper's
+   TOSSIM runs the equivalent order was scrambled by timing noise, so seeded
+   runs scramble it too; [salt = 0] keeps the plain identifier order. *)
+let node_order_key ~salt v =
+  if salt = 0 then v
+  else begin
+    let r = Slpdas_util.Rng.create ((salt * 2_654_435_761) lxor (v * 40_503)) in
+    Int64.to_int (Int64.logand (Slpdas_util.Rng.bits64 r) 0x3FFFFFFFFFFFFFFFL)
+  end
+
+(* Slot as seen by children: the sink advertises the virtual slot ∆. *)
+let slot_view schedule ~delta v =
+  if v = Schedule.sink schedule then Some delta else Schedule.slot schedule v
+
+let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
+    ~pinned =
+  let n = Slpdas_wsn.Graph.n g in
+  let sink = Schedule.sink schedule in
+  let hop = Slpdas_wsn.Graph.bfs_distances g sink in
+  let by_hop =
+    List.sort
+      (fun a b -> compare (hop.(a), a) (hop.(b), b))
+      (List.init n (fun v -> v))
+  in
+  let fuel = ref ((50 * n) + 100) in
+  let changed = ref true in
+  while !changed do
+    decr fuel;
+    if !fuel < 0 then failwith "Das_build: slot fixpoint did not converge";
+    changed := false;
+    (* Child-below-parent repair, outwards from the sink (the update mode of
+       Fig. 2: a child whose slot is not below its parent's re-lowers).  In
+       strong mode the bound is the minimum over every shortest-path parent
+       (condition 3 of Def. 2), not just the chosen one. *)
+    List.iter
+      (fun v ->
+        if v <> sink && not (pinned v) then begin
+          match Schedule.slot schedule v with
+          | None -> ()
+          | Some sv ->
+            if strong then begin
+              (* Strong DAS (Def. 2): below every shortest-path parent. *)
+              let bounds =
+                (match parent.(v) with
+                | Some p -> Option.to_list (slot_view schedule ~delta p)
+                | None -> [])
+                @ List.filter_map
+                    (fun m ->
+                      if m = sink then None else Schedule.slot schedule m)
+                    (Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v)
+              in
+              match bounds with
+              | [] -> ()
+              | b :: rest ->
+                let bound = List.fold_left min b rest in
+                if sv >= bound then begin
+                  Schedule.assign schedule v (bound - 1);
+                  changed := true
+                end
+            end
+            else begin
+              (* Weak DAS (Def. 3): re-lower only when no neighbour at all
+                 transmits later — the least repair that keeps data flowing,
+                 and the most that can be done without erasing the decoy
+                 gradient Phase 3 planted (a blanket below-parent cascade
+                 would hand the attacker a fresh descent from the decoy
+                 end). *)
+              let has_forwarder =
+                List.exists
+                  (fun m ->
+                    m = sink
+                    ||
+                    match Schedule.slot schedule m with
+                    | Some ms -> ms > sv
+                    | None -> false)
+                  (Slpdas_wsn.Graph.neighbour_list g v)
+              in
+              if not has_forwarder then begin
+                match
+                  Option.bind parent.(v) (slot_view schedule ~delta)
+                with
+                | Some ps when sv >= ps ->
+                  Schedule.assign schedule v (ps - 1);
+                  changed := true
+                | Some _ | None -> ()
+              end
+            end
+        end)
+      by_hop;
+    (* 2-hop collision resolution: the node farther from the sink (ties by
+       larger id) decrements, as in the process action of Fig. 2. *)
+    for v = 0 to n - 1 do
+      match Schedule.slot schedule v with
+      | None -> ()
+      | Some sv ->
+        List.iter
+          (fun m ->
+            if m > v && Schedule.slot schedule m = Some sv then begin
+              let key u = (hop.(u), node_order_key ~salt u, u) in
+              let loser, winner = if key v > key m then (v, m) else (m, v) in
+              let target =
+                if not (pinned loser) then Some loser
+                else if not (pinned winner) then Some winner
+                else None
+              in
+              match target with
+              | Some t ->
+                Schedule.assign schedule t (Schedule.slot_exn schedule t - 1);
+                changed := true
+              | None -> ()
+            end)
+          (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
+    done
+  done
+
+let repair ?(strong = false) ?(salt = 0) g ~schedule ~parent ~pinned =
+  fixpoint ~strong ~salt g ~schedule ~parent ~pinned
+
+let build ?rng ?(delta = default_delta) g ~sink =
+  let n = Slpdas_wsn.Graph.n g in
+  let hop = Slpdas_wsn.Graph.bfs_distances g sink in
+  let schedule = Schedule.create ~n ~sink in
+  let parent = Array.make n None in
+  (* Per-parent competitor ordering: the rank(i, Others[par]) of Fig. 2.
+     Deterministic runs sort by id; seeded runs shuffle once per parent so
+     all of a parent's children agree on their ranks, as they would when
+     hearing the same broadcast. *)
+  let competitor_order = Hashtbl.create 64 in
+  let rank_under p v =
+    let order =
+      match Hashtbl.find_opt competitor_order p with
+      | Some order -> order
+      | None ->
+        let competitors =
+          Array.to_list (Slpdas_wsn.Graph.neighbours g p)
+          |> List.filter (fun m -> hop.(m) = hop.(p) + 1)
+        in
+        let order =
+          match rng with
+          | None -> competitors
+          | Some r -> Slpdas_util.Rng.shuffle_list r competitors
+        in
+        Hashtbl.replace competitor_order p order;
+        order
+    in
+    let rec index i = function
+      | [] -> invalid_arg "Das_build.rank_under: node not a competitor"
+      | m :: rest -> if m = v then i else index (i + 1) rest
+    in
+    index 0 order
+  in
+  let max_hop = Array.fold_left max 0 hop in
+  for d = 1 to max_hop do
+    let level =
+      List.filter (fun v -> hop.(v) = d) (List.init n (fun v -> v))
+    in
+    List.iter
+      (fun v ->
+        let parents = Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v in
+        let p =
+          match (rng, parents) with
+          | _, [] -> assert false (* hop.(v) = d >= 1 guarantees a parent *)
+          | None, p :: _ -> p
+          | Some r, parents -> Slpdas_util.Rng.choose r parents
+        in
+        parent.(v) <- Some p;
+        let pslot =
+          match slot_view schedule ~delta p with
+          | Some s -> s
+          | None -> assert false (* level d-1 is fully assigned *)
+        in
+        Schedule.assign schedule v (pslot - rank_under p v - 1))
+      level
+  done;
+  let salt =
+    match rng with
+    | None -> 0
+    | Some r -> 1 + Slpdas_util.Rng.int r 0x3FFF_FFFF
+  in
+  fixpoint ~delta ~salt ~strong:true g ~schedule ~parent ~pinned:(fun _ -> false);
+  { schedule; parent; hop }
+
+let schedule_length schedule =
+  match (Schedule.min_slot schedule, Schedule.max_slot schedule) with
+  | Some lo, Some hi -> hi - lo + 1
+  | _ -> 0
+
+let build_compact ?rng g ~sink =
+  let n = Slpdas_wsn.Graph.n g in
+  let hop = Slpdas_wsn.Graph.bfs_distances g sink in
+  let schedule = Schedule.create ~n ~sink in
+  let parent = Array.make n None in
+  (* Parent choice as in [build]: a shortest-path parent per node. *)
+  for v = 0 to n - 1 do
+    if v <> sink && hop.(v) > 0 then begin
+      let parents = Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v in
+      match (rng, parents) with
+      | _, [] -> ()
+      | None, p :: _ -> parent.(v) <- Some p
+      | Some r, parents -> parent.(v) <- Some (Slpdas_util.Rng.choose r parents)
+    end
+  done;
+  (* Greedy first-fit, leaves first: slot(v) must exceed every already
+     assigned strictly-deeper neighbour (so that all nodes having v on a
+     shortest path transmit before it — strong condition 3) and be free in
+     v's 2-hop neighbourhood (condition 4). *)
+  let order =
+    List.init n (fun v -> v)
+    |> List.filter (fun v -> v <> sink && hop.(v) > 0)
+    |> List.sort (fun a b -> compare (-hop.(a), a) (-hop.(b), b))
+  in
+  let order =
+    match rng with
+    | None -> order
+    | Some r ->
+      (* Shuffle within equal-hop groups only, preserving leaves-first. *)
+      List.map (fun v -> ((-hop.(v), Slpdas_util.Rng.int r 1_000_000), v)) order
+      |> List.sort compare |> List.map snd
+  in
+  List.iter
+    (fun v ->
+      let lower_bound =
+        Array.fold_left
+          (fun acc w ->
+            if hop.(w) = hop.(v) + 1 then begin
+              match Schedule.slot schedule w with
+              | Some s -> max acc (s + 1)
+              | None -> acc
+            end
+            else acc)
+          0
+          (Slpdas_wsn.Graph.neighbours g v)
+      in
+      let taken =
+        List.filter_map
+          (fun m -> Schedule.slot schedule m)
+          (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
+      in
+      let rec first_free i = if List.mem i taken then first_free (i + 1) else i in
+      Schedule.assign schedule v (first_free lower_bound))
+    order;
+  { schedule; parent; hop }

@@ -1,0 +1,101 @@
+type violation =
+  | Unassigned of int
+  | Collision of { a : int; b : int; slot : int }
+  | Early_parent of { node : int; parent : int }
+  | No_forwarder of { node : int }
+
+let pp_violation ppf = function
+  | Unassigned v -> Format.fprintf ppf "node %d has no slot" v
+  | Collision { a; b; slot } ->
+    Format.fprintf ppf "nodes %d and %d are within 2 hops and share slot %d" a
+      b slot
+  | Early_parent { node; parent } ->
+    Format.fprintf ppf
+      "shortest-path parent %d of node %d does not transmit later" parent node
+  | No_forwarder { node } ->
+    Format.fprintf ppf "no neighbour of node %d forwards its data" node
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let non_colliding g sched v =
+  match Schedule.slot sched v with
+  | None -> false
+  | Some s ->
+    List.for_all
+      (fun m -> Schedule.slot sched m <> Some s)
+      (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
+
+let collisions g sched =
+  let acc = ref [] in
+  for v = Slpdas_wsn.Graph.n g - 1 downto 0 do
+    match Schedule.slot sched v with
+    | None -> ()
+    | Some s ->
+      List.iter
+        (fun m ->
+          if m > v && Schedule.slot sched m = Some s then
+            acc := Collision { a = v; b = m; slot = s } :: !acc)
+        (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
+  done;
+  List.sort compare !acc
+
+let unassigned sched =
+  let acc = ref [] in
+  for v = Schedule.n sched - 1 downto 0 do
+    if v <> Schedule.sink sched && not (Schedule.assigned sched v) then
+      acc := Unassigned v :: !acc
+  done;
+  !acc
+
+(* Strong condition 3: every neighbour on a shortest path towards the sink
+   transmits strictly later (or is the sink). *)
+let strong_condition3 g sched =
+  let sink = Schedule.sink sched in
+  let dist = Slpdas_wsn.Graph.bfs_distances g sink in
+  let acc = ref [] in
+  for v = Slpdas_wsn.Graph.n g - 1 downto 0 do
+    if v <> sink then begin
+      match Schedule.slot sched v with
+      | None -> ()
+      | Some s ->
+        List.iter
+          (fun parent ->
+            if parent <> sink then begin
+              match Schedule.slot sched parent with
+              | Some ps when ps > s -> ()
+              | Some _ | None ->
+                acc := Early_parent { node = v; parent } :: !acc
+            end)
+          (Slpdas_wsn.Graph.shortest_path_parents g ~dist v)
+    end
+  done;
+  List.rev !acc
+
+(* Weak condition 3: at least one neighbour is the sink or transmits later. *)
+let weak_condition3 g sched =
+  let sink = Schedule.sink sched in
+  let acc = ref [] in
+  for v = Slpdas_wsn.Graph.n g - 1 downto 0 do
+    if v <> sink then begin
+      match Schedule.slot sched v with
+      | None -> ()
+      | Some s ->
+        let forwards m =
+          m = sink
+          || match Schedule.slot sched m with Some ms -> ms > s | None -> false
+        in
+        if not (List.exists forwards (Slpdas_wsn.Graph.neighbour_list g v))
+        then acc := No_forwarder { node = v } :: !acc
+    end
+  done;
+  List.rev !acc
+
+let check_strong g sched =
+  unassigned sched @ strong_condition3 g sched @ collisions g sched
+
+let check_weak g sched =
+  unassigned sched @ weak_condition3 g sched @ collisions g sched
+
+let is_strong g sched = check_strong g sched = []
+
+let is_weak g sched = check_weak g sched = []

@@ -1,0 +1,64 @@
+(** Fake sources — the second routing-layer SLP family of §II ([10]–[12]).
+
+    Selected decoy nodes periodically broadcast {e fake} messages that are
+    padded and encrypted to be indistinguishable from real source traffic;
+    both kinds are flooded to the sink.  A message-tracing attacker is
+    pulled towards whichever origin's flood wavefront reaches it first, so
+    well-placed, sufficiently chatty fake sources dilute the real source's
+    attraction — at the price of one full network flood per fake message,
+    the energy/privacy trade-off of [10].
+
+    This implementation is the {e static, pre-selected} fake-source scheme:
+    the decoy set and their rate are fixed per run (the dynamic variants of
+    [11, 12] adapt them online).  Like {!Phantom}, it is a CSMA-style
+    guarded-command program over the discrete-event engine: no TDMA. *)
+
+module Int_set : Set.S with type elt = int
+
+type config = {
+  sink : int;
+  source : int;
+  fake_sources : int list;  (** the decoy nodes *)
+  source_period : float;  (** P{_src} of the real source, 5.5 s *)
+  fake_period : float;
+      (** interval between fake messages at each decoy; smaller = chattier
+          decoys = stronger pull and higher energy cost *)
+  hop_delay : float;  (** per-hop flood forwarding delay *)
+  start_time : float;
+  run_seed : int;
+}
+
+val default_config :
+  topology:Slpdas_wsn.Topology.t ->
+  fake_sources:int list ->
+  fake_rate_multiplier:float ->
+  config
+(** [fake_rate_multiplier] scales the decoys' chatter relative to the real
+    source: 1.0 means each decoy matches the source's rate, 2.0 means twice
+    as fast.  @raise Invalid_argument on a non-positive multiplier. *)
+
+val opposite_corners : Slpdas_wsn.Topology.t -> dim:int -> int list
+(** The classic static placement on a [dim × dim] grid with a top-left
+    source: the other three corners. *)
+
+type msg =
+  | Hello
+  | Flood of { id : int; fake : bool }
+      (** [fake] is simulator bookkeeping only — attackers never read it
+          (the whole point of fake sources is indistinguishability) *)
+
+val message_id : msg -> int option
+
+type state = {
+  config : config;
+  rng : Slpdas_util.Rng.t;
+  neighbours : Int_set.t;
+  seen : Int_set.t;
+  next_real : int;  (** source: ids 0, 2, 4, … *)
+  next_fake : int;  (** decoys: odd ids interleaved per decoy *)
+  received_real : int list;  (** sink: real readings collected *)
+  received_fake : int;  (** sink: fake messages collected (overhead) *)
+  hello_remaining : int;
+}
+
+val program : config -> self:int -> (state, msg) Slpdas_gcn.program

@@ -1,0 +1,34 @@
+type ninfo = { hop : int; slot : int }
+
+type t =
+  | Hello
+  | Dissem of {
+      normal : bool;
+      info : (int * ninfo option) list;
+      parent : int option;
+    }
+  | Search of { target : int; ttl : int }
+  | Change of { target : int; base_slot : int; ttl : int }
+  | Data of { origin : int; seq : int; readings : (int * int) list }
+
+let pp ppf = function
+  | Hello -> Format.fprintf ppf "HELLO"
+  | Dissem { normal; info; parent } ->
+    Format.fprintf ppf "DISSEM(normal=%b, |info|=%d, par=%a)" normal
+      (List.length info)
+      (Format.pp_print_option Format.pp_print_int)
+      parent
+  | Search { target; ttl } -> Format.fprintf ppf "SEARCH(to=%d, ttl=%d)" target ttl
+  | Change { target; base_slot; ttl } ->
+    Format.fprintf ppf "CHANGE(to=%d, base=%d, ttl=%d)" target base_slot ttl
+  | Data { origin; seq; readings } ->
+    Format.fprintf ppf "DATA(origin=%d, seq=%d, |agg|=%d)" origin seq
+      (List.length readings)
+
+let describe = function
+  | Hello -> "hello"
+  | Dissem { normal = true; _ } -> "dissem"
+  | Dissem { normal = false; _ } -> "dissem-update"
+  | Search _ -> "search"
+  | Change _ -> "change"
+  | Data _ -> "data"

@@ -1,0 +1,23 @@
+let capture_periods ~delta_ss =
+  if delta_ss < 0 then invalid_arg "Safety.capture_periods: negative distance";
+  delta_ss + 1
+
+let check_factor factor =
+  if factor <= 1.0 || factor >= 2.0 then
+    invalid_arg "Safety: factor must satisfy 1 < Cs < 2 (Eq. 1)"
+
+let safety_periods ?(factor = 1.5) ~delta_ss () =
+  check_factor factor;
+  int_of_float (ceil (factor *. float_of_int (capture_periods ~delta_ss)))
+
+let safety_seconds ?(factor = 1.5) ~period_length ~delta_ss () =
+  check_factor factor;
+  if period_length <= 0.0 then
+    invalid_arg "Safety.safety_seconds: period_length must be positive";
+  factor *. period_length *. float_of_int (capture_periods ~delta_ss)
+
+let upper_time_bound ~nodes ~source_period =
+  if nodes <= 0 then invalid_arg "Safety.upper_time_bound: nodes must be positive";
+  if source_period <= 0.0 then
+    invalid_arg "Safety.upper_time_bound: source_period must be positive";
+  float_of_int nodes *. source_period *. 4.0

@@ -1,0 +1,24 @@
+(** Safety-period arithmetic (§IV-B and §VI-B).
+
+    The paper estimates the protectionless capture time as
+    [C = period_length × (∆ss + 1)] — one TDMA period per hop of the
+    source–sink distance, plus one — and defines the safety period as
+    [Cs × C] with [1 < Cs < 2] (Eq. 1); the evaluation uses [Cs = 1.5].
+    A protocol provides SLP when the attacker cannot reach the source before
+    the safety period expires. *)
+
+val capture_periods : delta_ss:int -> int
+(** [capture_periods ~delta_ss] is [∆ss + 1], the baseline capture time in
+    TDMA periods.  @raise Invalid_argument on negative [delta_ss]. *)
+
+val safety_periods : ?factor:float -> delta_ss:int -> unit -> int
+(** [safety_periods ~delta_ss ()] is [⌈factor × (∆ss + 1)⌉] periods; [factor]
+    defaults to 1.5 (§VI-B).  @raise Invalid_argument unless
+    [1 < factor < 2] (Eq. 1) and [delta_ss >= 0]. *)
+
+val safety_seconds :
+  ?factor:float -> period_length:float -> delta_ss:int -> unit -> float
+(** Wall-clock form: [factor × period_length × (∆ss + 1)] seconds. *)
+
+val upper_time_bound : nodes:int -> source_period:float -> float
+(** The simulation cut-off of §VI-B: [nodes × source_period × 4] seconds. *)

@@ -1,0 +1,161 @@
+type t = { n : int; sink : int; slots : int option array }
+
+let create ~n ~sink =
+  if sink < 0 || sink >= n then invalid_arg "Schedule.create: sink out of range";
+  { n; sink; slots = Array.make n None }
+
+let n t = t.n
+
+let sink t = t.sink
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Schedule: node out of range"
+
+let assign t v s =
+  check_node t v;
+  if v = t.sink then invalid_arg "Schedule.assign: the sink has no slot";
+  t.slots.(v) <- Some s
+
+let clear_slot t v =
+  check_node t v;
+  t.slots.(v) <- None
+
+let slot t v =
+  check_node t v;
+  t.slots.(v)
+
+let slot_exn t v =
+  match slot t v with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Schedule.slot_exn: node %d unassigned" v)
+
+let assigned t v = Option.is_some (slot t v)
+
+let complete t =
+  let ok = ref true in
+  for v = 0 to t.n - 1 do
+    if v <> t.sink && t.slots.(v) = None then ok := false
+  done;
+  !ok
+
+let fold_assigned f t init =
+  let acc = ref init in
+  for v = 0 to t.n - 1 do
+    match t.slots.(v) with Some s -> acc := f v s !acc | None -> ()
+  done;
+  !acc
+
+let min_slot t =
+  fold_assigned
+    (fun _ s acc -> match acc with None -> Some s | Some m -> Some (min m s))
+    t None
+
+let max_slot t =
+  fold_assigned
+    (fun _ s acc -> match acc with None -> Some s | Some m -> Some (max m s))
+    t None
+
+let sender_sets t =
+  let by_slot = Hashtbl.create 64 in
+  for v = t.n - 1 downto 0 do
+    match t.slots.(v) with
+    | None -> ()
+    | Some s ->
+      let senders = Option.value ~default:[] (Hashtbl.find_opt by_slot s) in
+      Hashtbl.replace by_slot s (v :: senders)
+  done;
+  Hashtbl.fold (fun s senders acc -> (s, senders) :: acc) by_slot []
+  |> List.sort compare
+
+let copy t = { t with slots = Array.copy t.slots }
+
+let equal a b = a.n = b.n && a.sink = b.sink && a.slots = b.slots
+
+let of_alist ~n ~sink assocs =
+  let t = create ~n ~sink in
+  List.iter
+    (fun (v, s) ->
+      if assigned t v then
+        invalid_arg (Printf.sprintf "Schedule.of_alist: duplicate node %d" v);
+      assign t v s)
+    assocs;
+  t
+
+let to_alist t = List.rev (fold_assigned (fun v s acc -> (v, s) :: acc) t [])
+
+let format_header = "slp-das-schedule v1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf format_header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "n %d\nsink %d\n" t.n t.sink);
+  List.iter
+    (fun (v, s) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" v s))
+    (to_alist t);
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: n_line :: sink_line :: rest when header = format_header ->
+    let parse_kv key line =
+      match String.split_on_char ' ' line with
+      | [ k; v ] when k = key -> int_of_string_opt v
+      | _ -> None
+    in
+    begin match (parse_kv "n" n_line, parse_kv "sink" sink_line) with
+    | Some n, Some sink when n > 0 && sink >= 0 && sink < n ->
+      let t = create ~n ~sink in
+      let rec load = function
+        | [] -> Ok t
+        | line :: rest ->
+          begin match String.split_on_char ' ' line with
+          | [ v; s ] ->
+            begin match (int_of_string_opt v, int_of_string_opt s) with
+            | Some v, Some s when v >= 0 && v < n && v <> sink ->
+              if assigned t v then
+                Error (Printf.sprintf "duplicate assignment for node %d" v)
+              else begin
+                assign t v s;
+                load rest
+              end
+            | Some v, Some _ ->
+              Error (Printf.sprintf "node %d out of range or the sink" v)
+            | _ -> Error (Printf.sprintf "malformed line %S" line)
+            end
+          | _ -> Error (Printf.sprintf "malformed line %S" line)
+          end
+      in
+      load rest
+    | _ -> Error "malformed n/sink header lines"
+    end
+  | header :: _ when header <> format_header ->
+    Error (Printf.sprintf "bad header %S" header)
+  | _ -> Error "truncated input"
+
+let pp ppf t =
+  let items = to_alist t in
+  Format.fprintf ppf "@[<v>schedule (sink=%d):@ " t.sink;
+  List.iter (fun (v, s) -> Format.fprintf ppf "%d:%d@ " v s) items;
+  Format.fprintf ppf "@]"
+
+let pp_grid ~dim ppf t =
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to dim - 1 do
+    for c = 0 to dim - 1 do
+      let v = (r * dim) + c in
+      if v = t.sink then Format.fprintf ppf "  SNK"
+      else begin
+        match t.slots.(v) with
+        | None -> Format.fprintf ppf "    ."
+        | Some s -> Format.fprintf ppf " %4d" s
+      end
+    done;
+    Format.fprintf ppf "@ "
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Centralized mirror of Phases 2 and 3 (Figs. 3–4).
+
+    Operating directly on a built DAS, this refines the slot assignment the
+    way the distributed protocol does: follow minimum-slot children
+    [search_distance] hops from the sink (the exact gradient a lowest-slot
+    attacker descends), select the first node there with an alternate
+    potential parent, then walk a decoy chain of [change_length] nodes, each
+    taking a slot below everything audible around its nominator, and finally
+    repair the DAS property around the changed nodes ({!Das_build.repair}
+    with the decoy path pinned).
+
+    Used for fast Monte-Carlo capture-ratio sweeps and as the oracle the
+    distributed implementation is tested against. *)
+
+type result = {
+  refined : Schedule.t;  (** the SLP-aware schedule (input is not mutated) *)
+  search_path : int list;  (** sink … selected start node, in hop order *)
+  start_node : int;
+  change_path : int list;  (** decoy nodes whose slots were changed, in
+                               chain order; may be shorter than requested if
+                               the chain ran out of eligible neighbours *)
+}
+
+val refine :
+  ?rng:Slpdas_util.Rng.t ->
+  ?gap:int ->
+  Slpdas_wsn.Graph.t ->
+  das:Das_build.result ->
+  search_distance:int ->
+  change_length:int ->
+  result option
+(** [refine g ~das ~search_distance ~change_length] returns [None] when no
+    suitable redirection start node exists (e.g. the graph is a path and no
+    node has an alternate parent).  [rng] drives the [choose] calls of
+    Figs. 3–4; omitted, the least eligible identifier is chosen.
+
+    [gap] (default 1, the paper's literal [nSlot − 1]) is the decrement each
+    decoy node applies below the slot floor of its nominator's
+    neighbourhood.  A gap of 1 leaves the decoy gradient only marginally
+    below the ambient slot field, so later collision resolution can push
+    bystanders underneath it and leak the attacker off the chain — the
+    robustness margin a larger gap buys is an ablation the bench harness
+    measures.
+    @raise Invalid_argument if [search_distance < 1], [change_length < 1] or
+    [gap < 1]. *)

@@ -1,0 +1,152 @@
+type outcome =
+  | Safe
+  | Captured of { trace : int list; periods : int }
+
+(* Slot used for the period-accounting comparison of Algorithm 1, line 10.
+   The sink (and any unassigned node) never transmits, so every audible
+   transmission counts as "earlier than" it: leaving such a position is a
+   next-period (descending) step. *)
+let slot_rank sched v =
+  match Schedule.slot sched v with Some s -> s | None -> max_int
+
+let truncate n xs = List.filteri (fun i _ -> i < n) xs
+
+(* One attacker step from [loc]: candidate successors with updated period and
+   move accounting.  Steps the (R, H, M) budget forbids are dropped, which is
+   the "trace discarded" branch of Algorithm 1. *)
+let successors g sched ~attacker ~loc ~period ~moves ~history =
+  let heard =
+    Attacker.heard_by g sched ~at:loc ~r:attacker.Attacker.r
+  in
+  let candidates = attacker.Attacker.decide ~heard ~history ~current:loc in
+  List.filter_map
+    (fun c ->
+      if c = loc || not (Slpdas_wsn.Graph.mem_edge g loc c) then None
+      else if slot_rank sched loc > slot_rank sched c then
+        Some (c, period + 1, 1)
+      else if moves >= attacker.Attacker.m then None
+      else Some (c, period, moves + 1))
+    candidates
+
+let check_args g ~safety_period ~source =
+  if safety_period < 0 then invalid_arg "Verifier: negative safety period";
+  if source < 0 || source >= Slpdas_wsn.Graph.n g then
+    invalid_arg "Verifier: source out of range"
+
+let verify_with_stats g sched ~attacker ~safety_period ~source =
+  check_args g ~safety_period ~source;
+  let visited = Hashtbl.create 1024 in
+  let exception Found of int list * int in
+  (* Depth-first exploration; [trace_rev] carries the counterexample. *)
+  let rec explore loc period moves history trace_rev =
+    let key = (loc, period, moves, history) in
+    if period > safety_period || Hashtbl.mem visited key then ()
+    else begin
+      Hashtbl.add visited key ();
+      List.iter
+        (fun (c, period', moves') ->
+          if c = source && period' <= safety_period then
+            raise (Found (List.rev (c :: trace_rev), period'));
+          let history' =
+            if attacker.Attacker.h > 0 then
+              truncate attacker.Attacker.h (loc :: history)
+            else history
+          in
+          explore c period' moves' history' (c :: trace_rev))
+        (successors g sched ~attacker ~loc ~period ~moves ~history)
+    end
+  in
+  let start = attacker.Attacker.start in
+  match explore start 0 0 [] [ start ] with
+  | () -> (Safe, Hashtbl.length visited)
+  | exception Found (trace, periods) ->
+    (Captured { trace; periods }, Hashtbl.length visited)
+
+let verify g sched ~attacker ~safety_period ~source =
+  fst (verify_with_stats g sched ~attacker ~safety_period ~source)
+
+let is_slp_aware g sched ~attacker ~safety_period ~source =
+  verify g sched ~attacker ~safety_period ~source = Safe
+
+let attacker_traces g sched ~attacker ~safety_period ~max_traces =
+  if safety_period < 0 then invalid_arg "Verifier: negative safety period";
+  if max_traces <= 0 then invalid_arg "Verifier.attacker_traces: max_traces";
+  let traces = ref [] in
+  let count = ref 0 in
+  let emit trace_rev =
+    if !count < max_traces then begin
+      traces := List.rev trace_rev :: !traces;
+      incr count
+    end
+  in
+  (* Plain enumeration, no memoization: each maximal extension is one
+     trace.  Cycles are bounded by the period budget (a revisited location
+     costs periods or moves, both finite). *)
+  let rec extend loc period moves history trace_rev =
+    if !count >= max_traces then ()
+    else begin
+      let steps =
+        List.filter
+          (fun (_, period', _) -> period' <= safety_period)
+          (successors g sched ~attacker ~loc ~period ~moves ~history)
+      in
+      match steps with
+      | [] -> emit trace_rev
+      | steps ->
+        List.iter
+          (fun (c, period', moves') ->
+            let history' =
+              if attacker.Attacker.h > 0 then
+                truncate attacker.Attacker.h (loc :: history)
+              else history
+            in
+            extend c period' moves' history' (c :: trace_rev))
+          steps
+    end
+  in
+  let start = attacker.Attacker.start in
+  extend start 0 0 [] [ start ];
+  List.rev !traces
+
+let capture_time g sched ~attacker ~source ~limit =
+  check_args g ~safety_period:limit ~source;
+  (* Track the best (lowest) period at which each state was reached; explore
+     only improvements, so the search finds the minimum capture period. *)
+  let best = Hashtbl.create 1024 in
+  let best_capture = ref None in
+  let rec explore loc period moves history trace_rev =
+    let bound =
+      match !best_capture with Some (p, _) -> p - 1 | None -> limit
+    in
+    if period > bound then ()
+    else begin
+      let key = (loc, moves, history) in
+      let improves =
+        match Hashtbl.find_opt best key with
+        | Some p -> period < p
+        | None -> true
+      in
+      if improves then begin
+        Hashtbl.replace best key period;
+        List.iter
+          (fun (c, period', moves') ->
+            let trace_rev' = c :: trace_rev in
+            if c = source && period' <= bound then
+              best_capture := Some (period', List.rev trace_rev')
+            else begin
+              let history' =
+                if attacker.Attacker.h > 0 then
+                  truncate attacker.Attacker.h (loc :: history)
+                else history
+              in
+              explore c period' moves' history' trace_rev'
+            end)
+          (successors g sched ~attacker ~loc ~period ~moves ~history)
+      end
+    end
+  in
+  let start = attacker.Attacker.start in
+  explore start 0 0 [] [ start ];
+  match !best_capture with
+  | Some (p, trace) -> Some (p, trace)
+  | None -> None

@@ -1,0 +1,93 @@
+(** [VerifySchedule] — Algorithm 1 of the paper.
+
+    Decides whether a DAS slot assignment is δ-SLP-aware for a given source
+    against a parameterised eavesdropper, in the style of a model checker: it
+    explores every attacker trace admissible under the decision function [D]
+    and the attacker's (R, H, M) budget, and returns either a safety verdict
+    or a violating trace (the counterexample [pc] of Def. 6) together with
+    the number of TDMA periods the capture took.
+
+    The paper's [GENERATEALLATTACKERTRACES] is realised as a memoized
+    depth-first exploration of the attacker state space
+    [(location, period, moves-this-period, history)] — equivalent to trace
+    enumeration but guaranteed to terminate (DESIGN.md §5).
+
+    Period accounting follows line 10 of Algorithm 1: a step to a node with a
+    {e lower} slot can only be served by the next TDMA period (its slot has
+    already fired), so it increments the period and resets the move budget; a
+    step to a higher-slotted node consumes one of the [M] per-period moves.
+    The sink (which never transmits) is treated as always-later, so leaving
+    the initial sink position costs the first period. *)
+
+type outcome =
+  | Safe
+      (** no admissible trace reaches the source within the safety period:
+          the tuple [(True, ⊥, δ)] of Def. 6 *)
+  | Captured of { trace : int list; periods : int }
+      (** the tuple [(False, pc, p)]: [trace] starts at the attacker's start
+          position and ends at the source; [periods] ≤ δ *)
+
+val verify :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  outcome
+(** [verify g sched ~attacker ~safety_period ~source] decides δ-SLP-awareness
+    (Def. 6) of [sched] for [source] in [g].
+    @raise Invalid_argument if [safety_period < 0] or [source] out of
+    range. *)
+
+val verify_with_stats :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  outcome * int
+(** Like {!verify}, additionally returning the number of distinct attacker
+    states [(location, period, moves, history)] explored.  §IV-B motivates
+    the bounded safety period with the cost of validation; this exposes that
+    cost so the bench can chart how the state space grows with the attacker
+    parameters (R widens branching, H multiplies the state space by
+    [V^H]). *)
+
+val is_slp_aware :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  bool
+(** [is_slp_aware …] is [verify … = Safe]. *)
+
+val attacker_traces :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  max_traces:int ->
+  int list list
+(** [attacker_traces g sched ~attacker ~safety_period ~max_traces] is the
+    literal [GENERATEALLATTACKERTRACES] of Algorithm 1: every maximal walk
+    the attacker can take within the safety period, each starting at its
+    start position and ending where no admissible step remains (trapped, or
+    out of periods).  For a deterministic decision function there is exactly
+    one trace; nondeterministic [D]s branch, so the enumeration is truncated
+    at [max_traces].  {!verify} explores the same space with memoization and
+    should be preferred for decision making; this function exists for
+    inspection and for testing {!verify} against explicit enumeration. *)
+
+val capture_time :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  source:int ->
+  limit:int ->
+  (int * int list) option
+(** [capture_time g sched ~attacker ~source ~limit] is the capture time
+    δ{_G,P,A} of Def. 4: the minimum number of periods over all admissible
+    traces in which the attacker can reach [source], with the witnessing
+    trace, or [None] if no trace of at most [limit] periods captures.  Used
+    to compute safety periods (Eq. 1). *)

@@ -1,0 +1,107 @@
+type run_detail = {
+  seed : int;
+  captured : bool;
+  capture_periods : int option;
+  strong_das : bool;
+  weak_das : bool;
+  setup_messages : int;
+}
+
+type summary = {
+  runs : int;
+  captures : int;
+  ratio : float;
+  ci95 : float * float;
+  strong_das_runs : int;
+  weak_das_runs : int;
+  mean_setup_messages : float;
+  details : run_detail list;
+}
+
+let seeds ~base ~runs = List.init runs (fun i -> base + i)
+
+let summarize details =
+  let runs = List.length details in
+  if runs = 0 then invalid_arg "Capture: no runs";
+  let count p = List.length (List.filter p details) in
+  let captures = count (fun d -> d.captured) in
+  {
+    runs;
+    captures;
+    ratio = Slpdas_util.Stats.proportion ~successes:captures ~trials:runs;
+    ci95 = Slpdas_util.Stats.wilson_interval ~successes:captures ~trials:runs ~z:1.96;
+    strong_das_runs = count (fun d -> d.strong_das);
+    weak_das_runs = count (fun d -> d.weak_das);
+    mean_setup_messages =
+      Slpdas_util.Stats.mean
+        (List.map (fun d -> float_of_int d.setup_messages) details);
+    details;
+  }
+
+let centralized ~topology ~mode ~params ~attacker ~seeds =
+  let graph = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let safety_period =
+    Slpdas_core.Safety.safety_periods ~factor:params.Params.safety_factor
+      ~delta_ss ()
+  in
+  let one seed =
+    let rng = Slpdas_util.Rng.create seed in
+    let das = Slpdas_core.Das_build.build ~rng graph ~sink in
+    let schedule =
+      match mode with
+      | Slpdas_core.Protocol.Protectionless -> das.Slpdas_core.Das_build.schedule
+      | Slpdas_core.Protocol.Slp ->
+        let change_length = Params.change_length_for params ~delta_ss in
+        begin match
+          Slpdas_core.Slp_refine.refine ~rng ~gap:params.Params.refine_gap graph
+            ~das ~search_distance:params.Params.search_distance ~change_length
+        with
+        | Some r -> r.Slpdas_core.Slp_refine.refined
+        | None -> das.Slpdas_core.Das_build.schedule
+        end
+    in
+    let outcome =
+      Slpdas_core.Verifier.verify graph schedule ~attacker:(attacker ~start:sink)
+        ~safety_period ~source
+    in
+    let captured, capture_periods =
+      match outcome with
+      | Slpdas_core.Verifier.Safe -> (false, None)
+      | Slpdas_core.Verifier.Captured { periods; _ } -> (true, Some periods)
+    in
+    {
+      seed;
+      captured;
+      capture_periods;
+      strong_das = Slpdas_core.Das_check.is_strong graph schedule;
+      weak_das = Slpdas_core.Das_check.is_weak graph schedule;
+      setup_messages = 0;
+    }
+  in
+  summarize (List.map one seeds)
+
+let simulated ~topology ~mode ~params ~link ~attacker ~seeds =
+  let period_length = Params.period_length params in
+  let one seed =
+    let result =
+      Runner.run
+        { Runner.topology; mode; params; link; airtime = None; attacker; seed }
+    in
+    {
+      seed;
+      captured = result.Runner.captured;
+      capture_periods =
+        Option.map
+          (fun s -> int_of_float (ceil (s /. period_length)))
+          result.Runner.capture_seconds;
+      strong_das = result.Runner.strong_das;
+      weak_das = result.Runner.weak_das;
+      setup_messages = result.Runner.setup_messages;
+    }
+  in
+  summarize (List.map one seeds)
+
+let ratio_percent s = 100.0 *. s.ratio

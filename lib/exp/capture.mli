@@ -1,0 +1,56 @@
+(** Capture-ratio experiments (§VI-D/E: "the metric we shall focus on").
+
+    Two evaluation paths produce the same statistics:
+    - {!simulated}: the full discrete-event run ({!Runner}), the faithful
+      TOSSIM-equivalent used for the headline figures;
+    - {!centralized}: build + refine the schedule centrally and decide
+      capture with the verifier (Algorithm 1) — hundreds of times faster,
+      used for wide parameter sweeps and as a cross-check.
+
+    The capture ratio is the fraction of seeded runs in which the attacker
+    reaches the source before the safety period expires. *)
+
+type run_detail = {
+  seed : int;
+  captured : bool;
+  capture_periods : int option;
+      (** TDMA periods to capture (centralized) or rounded from seconds
+          (simulated); [None] when not captured *)
+  strong_das : bool;
+  weak_das : bool;
+  setup_messages : int;  (** 0 for centralized runs *)
+}
+
+type summary = {
+  runs : int;
+  captures : int;
+  ratio : float;  (** captures / runs *)
+  ci95 : float * float;  (** Wilson 95% interval on the ratio *)
+  strong_das_runs : int;  (** runs whose final schedule was a strong DAS *)
+  weak_das_runs : int;
+  mean_setup_messages : float;  (** 0 for centralized *)
+  details : run_detail list;
+}
+
+val seeds : base:int -> runs:int -> int list
+(** [seeds ~base ~runs] is the canonical seed list [base, base+1, …]. *)
+
+val centralized :
+  topology:Slpdas_wsn.Topology.t ->
+  mode:Slpdas_core.Protocol.mode ->
+  params:Params.t ->
+  attacker:(start:int -> Slpdas_core.Attacker.params) ->
+  seeds:int list ->
+  summary
+
+val simulated :
+  topology:Slpdas_wsn.Topology.t ->
+  mode:Slpdas_core.Protocol.mode ->
+  params:Params.t ->
+  link:Slpdas_sim.Link_model.t ->
+  attacker:(start:int -> Slpdas_core.Attacker.params) ->
+  seeds:int list ->
+  summary
+
+val ratio_percent : summary -> float
+(** Capture ratio in percent, as plotted in Fig. 5. *)

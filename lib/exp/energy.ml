@@ -1,0 +1,53 @@
+type radio = {
+  tx_joules_per_packet : float;
+  rx_joules_per_packet : float;
+}
+
+(* 3 V * 17.4 mA * 1.92 ms and 3 V * 18.8 mA * 1.92 ms. *)
+let cc2420 = { tx_joules_per_packet = 100.2e-6; rx_joules_per_packet = 108.3e-6 }
+
+type report = {
+  total_joules : float;
+  mean_node_joules : float;
+  max_node_joules : float;
+  hotspot : int;
+}
+
+let of_broadcasts ?(radio = cc2420) g ~broadcasts_by_node =
+  let n = Slpdas_wsn.Graph.n g in
+  if Array.length broadcasts_by_node <> n then
+    invalid_arg "Energy.of_broadcasts: arity mismatch";
+  let node_joules =
+    Array.init n (fun v ->
+        let tx =
+          float_of_int broadcasts_by_node.(v) *. radio.tx_joules_per_packet
+        in
+        let rx =
+          Array.fold_left
+            (fun acc u -> acc +. float_of_int broadcasts_by_node.(u))
+            0.0
+            (Slpdas_wsn.Graph.neighbours g v)
+          *. radio.rx_joules_per_packet
+        in
+        tx +. rx)
+  in
+  let total = Array.fold_left ( +. ) 0.0 node_joules in
+  let hotspot = ref 0 in
+  Array.iteri
+    (fun v e -> if e > node_joules.(!hotspot) then hotspot := v)
+    node_joules;
+  {
+    total_joules = total;
+    mean_node_joules = total /. float_of_int (max n 1);
+    max_node_joules = node_joules.(!hotspot);
+    hotspot = !hotspot;
+  }
+
+let lifetime_days ?(battery_joules = 20_000.0) report ~duration_seconds =
+  if duration_seconds <= 0.0 then
+    invalid_arg "Energy.lifetime_days: non-positive duration";
+  if report.max_node_joules <= 0.0 then infinity
+  else begin
+    let watts = report.max_node_joules /. duration_seconds in
+    battery_joules /. watts /. 86_400.0
+  end

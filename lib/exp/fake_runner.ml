@@ -1,0 +1,85 @@
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  fake_sources : int list;
+  fake_rate_multiplier : float;
+  link : Slpdas_sim.Link_model.t;
+  seed : int;
+}
+
+type result = {
+  captured : bool;
+  capture_seconds : float option;
+  attacker_path : int list;
+  messages_sent : int;
+  broadcasts_by_node : int array;
+  duration_seconds : float;
+  real_delivered : int;
+  fake_delivered : int;
+  safety_seconds : float;
+  delta_ss : int;
+}
+
+let run config =
+  let topology = config.topology in
+  let graph = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let protocol =
+    {
+      (Slpdas_core.Fake_source.default_config ~topology
+         ~fake_sources:config.fake_sources
+         ~fake_rate_multiplier:config.fake_rate_multiplier)
+      with
+      run_seed = config.seed;
+    }
+  in
+  let safety_seconds =
+    Slpdas_core.Safety.safety_seconds ~period_length:protocol.source_period
+      ~delta_ss ()
+  in
+  let engine =
+    Slpdas_sim.Engine.create ~topology ~link:config.link
+      ~rng:(Slpdas_util.Rng.create (config.seed lxor 0xfa4e))
+      ~program:(Slpdas_core.Fake_source.program protocol) ()
+  in
+  let location = ref sink in
+  let path_rev = ref [ sink ] in
+  let acted = Hashtbl.create 64 in
+  let capture_time = ref None in
+  Slpdas_sim.Engine.on_broadcast engine (fun ~time ~sender msg ->
+      if !capture_time = None then begin
+        match Slpdas_core.Fake_source.message_id msg with
+        | Some id
+          when (not (Hashtbl.mem acted id))
+               && (sender = !location
+                  || Slpdas_wsn.Graph.mem_edge graph !location sender) ->
+          Hashtbl.add acted id ();
+          if sender <> !location then begin
+            location := sender;
+            path_rev := sender :: !path_rev;
+            if sender = source then begin
+              capture_time := Some (time -. protocol.start_time);
+              Slpdas_sim.Engine.stop engine
+            end
+          end
+        | Some _ | None -> ()
+      end);
+  Slpdas_sim.Engine.run_until engine (protocol.start_time +. safety_seconds);
+  let sink_state = Slpdas_sim.Engine.node_state engine sink in
+  let captured =
+    match !capture_time with Some t -> t <= safety_seconds | None -> false
+  in
+  {
+    captured;
+    capture_seconds = !capture_time;
+    attacker_path = List.rev !path_rev;
+    messages_sent = Slpdas_sim.Engine.broadcasts engine;
+    broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
+    duration_seconds = Slpdas_sim.Engine.time engine;
+    real_delivered =
+      List.length sink_state.Slpdas_core.Fake_source.received_real;
+    fake_delivered = sink_state.Slpdas_core.Fake_source.received_fake;
+    safety_seconds;
+    delta_ss;
+  }

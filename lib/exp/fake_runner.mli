@@ -1,0 +1,32 @@
+(** Discrete-event runs of the fake-source baseline
+    ({!Slpdas_core.Fake_source}) with the panda-hunter eavesdropper.
+
+    The attacker cannot distinguish fake from real traffic: it moves to the
+    sender of the first transmission it hears of every message it has not
+    acted on yet, exactly as in {!Phantom_runner}.  Capture means reaching
+    the {e real} source within the safety period. *)
+
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  fake_sources : int list;
+  fake_rate_multiplier : float;
+      (** decoy chatter relative to the real source's rate *)
+  link : Slpdas_sim.Link_model.t;
+  seed : int;
+}
+
+type result = {
+  captured : bool;
+  capture_seconds : float option;
+  attacker_path : int list;
+  messages_sent : int;
+  broadcasts_by_node : int array;
+  duration_seconds : float;
+  real_delivered : int;  (** real readings that reached the sink *)
+  fake_delivered : int;  (** fake messages that reached the sink: overhead *)
+  safety_seconds : float;
+  delta_ss : int;
+}
+
+val run : config -> result
+(** Deterministic in [config]. *)

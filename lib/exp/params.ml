@@ -1,0 +1,82 @@
+type t = {
+  source_period : float;
+  slot_period : float;
+  dissemination_period : float;
+  slots : int;
+  minimum_setup_periods : int;
+  neighbour_discovery_periods : int;
+  dissemination_timeout : int;
+  search_distance : int;
+  change_length : int option;
+  refine_gap : int;
+  safety_factor : float;
+  search_start_period : int;
+}
+
+let default =
+  {
+    source_period = 5.5;
+    slot_period = 0.05;
+    dissemination_period = 0.5;
+    slots = 100;
+    minimum_setup_periods = 80;
+    neighbour_discovery_periods = 4;
+    dissemination_timeout = 5;
+    search_distance = 3;
+    change_length = None;
+    refine_gap = 1;
+    safety_factor = 1.5;
+    search_start_period = 40;
+  }
+
+let with_search_distance sd t = { t with search_distance = sd }
+
+let period_length t = float_of_int t.slots *. t.slot_period
+
+let change_length_for t ~delta_ss =
+  match t.change_length with
+  | Some cl -> cl
+  | None -> max 1 (delta_ss - t.search_distance)
+
+let protocol_config ?(data_sources = []) ?(reliable_data = false) t ~mode
+    ~sink ~delta_ss ~seed =
+  {
+    Slpdas_core.Protocol.mode;
+    sink;
+    num_slots = t.slots;
+    slot_period = t.slot_period;
+    dissemination_period = t.dissemination_period;
+    neighbour_discovery_periods = t.neighbour_discovery_periods;
+    minimum_setup_periods = t.minimum_setup_periods;
+    dissemination_timeout = t.dissemination_timeout;
+    search_distance = t.search_distance;
+    change_length = change_length_for t ~delta_ss;
+    refine_gap = t.refine_gap;
+    search_start_period = t.search_start_period;
+    run_seed = seed;
+    data_sources;
+    reliable_data;
+  }
+
+let table_rows t =
+  let f = Printf.sprintf in
+  [
+    ("Source Period", "Psrc", "rate at which the source generates messages",
+     f "%.1fs" t.source_period);
+    ("Slot Period", "Pslot", "duration of a single slot", f "%.2fs" t.slot_period);
+    ("Dissemination Period", "Pdiss", "duration of the dissemination period",
+     f "%.1fs" t.dissemination_period);
+    ("Number of Slots", "slots", "slots that can be assigned", f "%d" t.slots);
+    ("Minimum Setup Periods", "MSP", "periods before the source is activated",
+     f "%d" t.minimum_setup_periods);
+    ("Neighbour Discovery Periods", "NDP", "periods for neighbour discovery",
+     f "%d" t.neighbour_discovery_periods);
+    ("Dissemination Timeout", "DT", "dissemination messages sent by a node",
+     f "%d" t.dissemination_timeout);
+    ("Search Distance", "SD", "maximum hops search messages make",
+     f "%d" t.search_distance);
+    ("Change Length", "CL", "length of the change path generated",
+     match t.change_length with
+     | Some cl -> f "%d" cl
+     | None -> "dss - SD");
+  ]

@@ -1,0 +1,52 @@
+(** The experiment parameters of Table I.
+
+    Protectionless DAS uses the first block; SLP DAS inherits it and adds the
+    search distance [SD] and change length [CL = ∆ss − SD]. *)
+
+type t = {
+  source_period : float;  (** P{_src}: source message generation rate, 5.5 s *)
+  slot_period : float;  (** P{_slot}: duration of one slot, 0.05 s *)
+  dissemination_period : float;  (** P{_diss}: dissemination round, 0.5 s *)
+  slots : int;  (** number of assignable slots (∆), 100 *)
+  minimum_setup_periods : int;  (** MSP: periods before source activation, 80 *)
+  neighbour_discovery_periods : int;  (** NDP, 4 *)
+  dissemination_timeout : int;  (** DT: dissemination messages per node, 5 *)
+  search_distance : int;  (** SD: hops travelled by search messages, 3 or 5 *)
+  change_length : int option;
+      (** CL: decoy path length; [None] means the paper's ∆ss − SD *)
+  refine_gap : int;
+      (** slot decrement per decoy node; 1 = paper-literal [nSlot − 1]
+          (see {!Slpdas_core.Slp_refine.refine}) *)
+  safety_factor : float;  (** Cs of Eq. 1, 1.5 in §VI-B *)
+  search_start_period : int;  (** period at which the sink triggers Phase 2 *)
+}
+
+val default : t
+(** Table I values with [search_distance = 3]; Phase 2 starts at period
+    MSP/2, comfortably after Phase 1 converges and before the source
+    activates. *)
+
+val with_search_distance : int -> t -> t
+
+val period_length : t -> float
+(** [slots × slot_period] = 5 s with defaults. *)
+
+val change_length_for : t -> delta_ss:int -> int
+(** The effective CL: explicit value, or [max 1 (∆ss − SD)]. *)
+
+val protocol_config :
+  ?data_sources:int list ->
+  ?reliable_data:bool ->
+  t ->
+  mode:Slpdas_core.Protocol.mode ->
+  sink:int ->
+  delta_ss:int ->
+  seed:int ->
+  Slpdas_core.Protocol.config
+(** Instantiate the distributed protocol's configuration for one run.
+    [data_sources] (default none) are the asset-detecting nodes that
+    generate one reading per period; [reliable_data] (default false) enables
+    snoop-acknowledged convergecast retries. *)
+
+val table_rows : t -> (string * string * string * string) list
+(** Rows of Table I: (parameter, symbol, description, value). *)

@@ -1,0 +1,87 @@
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  walk_length : int;
+  link : Slpdas_sim.Link_model.t;
+  seed : int;
+}
+
+type result = {
+  captured : bool;
+  capture_seconds : float option;
+  attacker_path : int list;
+  messages_sent : int;
+  broadcasts_by_node : int array;
+  duration_seconds : float;
+  source_messages : int;
+  delivered : int;
+  safety_seconds : float;
+  delta_ss : int;
+}
+
+let run config =
+  let topology = config.topology in
+  let graph = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let protocol =
+    {
+      (Slpdas_core.Phantom.default_config ~topology
+         ~walk_length:config.walk_length)
+      with
+      run_seed = config.seed;
+    }
+  in
+  let safety_seconds =
+    Slpdas_core.Safety.safety_seconds ~period_length:protocol.source_period
+      ~delta_ss ()
+  in
+  let engine =
+    Slpdas_sim.Engine.create ~topology ~link:config.link
+      ~rng:(Slpdas_util.Rng.create (config.seed lxor 0x7a9))
+      ~program:(Slpdas_core.Phantom.program protocol) ()
+  in
+  (* The panda-hunter eavesdropper: one move per distinct message, to the
+     sender of the first transmission of that message it hears. *)
+  let location = ref sink in
+  let path_rev = ref [ sink ] in
+  let acted = Hashtbl.create 64 in
+  let capture_time = ref None in
+  Slpdas_sim.Engine.on_broadcast engine (fun ~time ~sender msg ->
+      if !capture_time = None then begin
+        match Slpdas_core.Phantom.message_id msg with
+        | Some id
+          when (not (Hashtbl.mem acted id))
+               && (sender = !location
+                  || Slpdas_wsn.Graph.mem_edge graph !location sender) ->
+          Hashtbl.add acted id ();
+          if sender <> !location then begin
+            location := sender;
+            path_rev := sender :: !path_rev;
+            if sender = source then begin
+              capture_time := Some (time -. protocol.start_time);
+              Slpdas_sim.Engine.stop engine
+            end
+          end
+        | Some _ | None -> ()
+      end);
+  let deadline = protocol.start_time +. safety_seconds in
+  Slpdas_sim.Engine.run_until engine deadline;
+  let source_state = Slpdas_sim.Engine.node_state engine source in
+  let sink_state = Slpdas_sim.Engine.node_state engine sink in
+  let captured =
+    match !capture_time with Some t -> t <= safety_seconds | None -> false
+  in
+  {
+    captured;
+    capture_seconds = !capture_time;
+    attacker_path = List.rev !path_rev;
+    messages_sent = Slpdas_sim.Engine.broadcasts engine;
+    broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
+    duration_seconds = Slpdas_sim.Engine.time engine;
+    source_messages = source_state.Slpdas_core.Phantom.next_id;
+    delivered =
+      List.length (Slpdas_core.Phantom.sink_received sink_state);
+    safety_seconds;
+    delta_ss;
+  }

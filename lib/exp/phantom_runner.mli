@@ -1,0 +1,35 @@
+(** Discrete-event runs of the phantom-routing baseline ({!Slpdas_core.Phantom}),
+    with the classic panda-hunter eavesdropper attached.
+
+    The attacker sits at the sink and, for every {e distinct} message it has
+    not yet acted on, moves to the sender of the first transmission of that
+    message it hears — one hop per source message, the routing-layer
+    equivalent of the paper's (1, 0, 1) attacker.  Capture means reaching
+    the source within the safety period [1.5 × P{_src} × (∆ss + 1)].
+
+    Used by the bench harness to quantify the related-work comparison of
+    §II: capture ratio and message cost of routing-level SLP versus the
+    paper's MAC-level approach. *)
+
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  walk_length : int;  (** 0 = protectionless flooding *)
+  link : Slpdas_sim.Link_model.t;
+  seed : int;
+}
+
+type result = {
+  captured : bool;
+  capture_seconds : float option;  (** after the source started *)
+  attacker_path : int list;
+  messages_sent : int;  (** radio transmissions over the whole run *)
+  broadcasts_by_node : int array;  (** per-node transmission counts *)
+  duration_seconds : float;  (** simulated time covered by the run *)
+  source_messages : int;  (** messages the source originated *)
+  delivered : int;  (** distinct messages that reached the sink *)
+  safety_seconds : float;
+  delta_ss : int;
+}
+
+val run : config -> result
+(** Deterministic in [config]. *)

@@ -1,0 +1,170 @@
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  mode : Slpdas_core.Protocol.mode;
+  params : Params.t;
+  link : Slpdas_sim.Link_model.t;
+  airtime : float option;
+  attacker : start:int -> Slpdas_core.Attacker.params;
+  seed : int;
+}
+
+let default_config ~topology ~mode ~seed =
+  {
+    topology;
+    mode;
+    params = Params.default;
+    link = Slpdas_sim.Link_model.Ideal;
+    airtime = None;
+    attacker = (fun ~start -> Slpdas_core.Attacker.canonical ~start);
+    seed;
+  }
+
+type result = {
+  captured : bool;
+  capture_seconds : float option;
+  attacker_path : int list;
+  attacker_final : int;
+  schedule : Slpdas_core.Schedule.t;
+  strong_das : bool;
+  weak_das : bool;
+  complete : bool;
+  setup_messages : int;
+  total_messages : int;
+  broadcasts_by_node : int array;
+  duration_seconds : float;
+  safety_seconds : float;
+  delta_ss : int;
+  generated_readings : int;
+  delivered_readings : (int * int * int) list;
+  delivery_ratio : float;
+  mean_latency_periods : float option;
+}
+
+let run ?(instrument = fun _ -> ()) config =
+  let topology = config.topology in
+  let graph = topology.Slpdas_wsn.Topology.graph in
+  let n = Slpdas_wsn.Graph.n graph in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let protocol_config =
+    Params.protocol_config ~data_sources:[ source ] config.params
+      ~mode:config.mode ~sink ~delta_ss ~seed:config.seed
+  in
+  let period_length = Slpdas_core.Protocol.period_length protocol_config in
+  let normal_start = Slpdas_core.Protocol.normal_start protocol_config in
+  let safety_seconds =
+    Slpdas_core.Safety.safety_seconds ~factor:config.params.Params.safety_factor
+      ~period_length ~delta_ss ()
+  in
+  let deadline =
+    min
+      (normal_start +. safety_seconds)
+      (Slpdas_core.Safety.upper_time_bound ~nodes:n
+         ~source_period:config.params.Params.source_period)
+  in
+  let engine =
+    Slpdas_sim.Engine.create ?airtime:config.airtime ~topology ~link:config.link
+      ~rng:(Slpdas_util.Rng.create (config.seed lxor 0x5113_da5))
+      ~program:(Slpdas_core.Protocol.program protocol_config) ()
+  in
+  instrument engine;
+  let attacker = Slpdas_core.Attacker.State.create (config.attacker ~start:sink) in
+  let capture_time = ref None in
+  let setup_messages = ref 0 in
+  let check_capture () =
+    if !capture_time = None && Slpdas_core.Attacker.State.location attacker = source
+    then begin
+      capture_time := Some (Slpdas_sim.Engine.time engine -. normal_start);
+      Slpdas_sim.Engine.stop engine
+    end
+  in
+  (* The attacker eavesdrops every transmission audible from its position
+     once the source is active; with R captured messages it decides a move
+     (Fig. 1). *)
+  Slpdas_sim.Engine.on_broadcast engine (fun ~time ~sender msg ->
+      ignore msg;
+      if time >= normal_start && !capture_time = None then begin
+        let loc = Slpdas_core.Attacker.State.location attacker in
+        if sender = loc || Slpdas_wsn.Graph.mem_edge graph loc sender then begin
+          (* The slot argument is informational; arrival order carries the
+             TDMA ordering. *)
+          let slot =
+            int_of_float ((time -. normal_start) /. protocol_config.slot_period)
+          in
+          Slpdas_core.Attacker.State.hear attacker ~location:sender ~slot;
+          if Slpdas_core.Attacker.State.decide attacker then check_capture ()
+        end
+      end);
+  (* Schedule/attacker bookkeeping at source activation and at each
+     subsequent period boundary. *)
+  let extracted = ref None in
+  let rec on_period engine_ =
+    if !extracted = None then
+      extracted :=
+        Some
+          (Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
+               Slpdas_sim.Engine.node_state engine_ v))
+    else begin
+      (* NextP of Fig. 1: flush a pending decision, then reset the budget. *)
+      if Slpdas_core.Attacker.State.decide attacker then check_capture ();
+      Slpdas_core.Attacker.State.period_end attacker
+    end;
+    if !setup_messages = 0 then
+      setup_messages := Slpdas_sim.Engine.broadcasts engine_;
+    let next = Slpdas_sim.Engine.time engine_ +. period_length in
+    if next <= deadline +. period_length then
+      Slpdas_sim.Engine.schedule engine_ ~at:next on_period
+  in
+  Slpdas_sim.Engine.schedule engine ~at:normal_start on_period;
+  Slpdas_sim.Engine.run_until engine deadline;
+  let schedule =
+    match !extracted with
+    | Some s -> s
+    | None ->
+      Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
+          Slpdas_sim.Engine.node_state engine v)
+  in
+  let captured =
+    match !capture_time with
+    | Some t -> t <= safety_seconds
+    | None -> false
+  in
+  let sink_state = Slpdas_sim.Engine.node_state engine sink in
+  let source_state = Slpdas_sim.Engine.node_state engine source in
+  let delivered_readings = sink_state.Slpdas_core.Protocol.delivered in
+  let generated_readings =
+    max 0 (source_state.Slpdas_core.Protocol.period_index + 1)
+  in
+  let latencies =
+    List.map
+      (fun (_, generation, arrival) -> float_of_int (arrival - generation))
+      delivered_readings
+  in
+  {
+    captured;
+    capture_seconds = !capture_time;
+    attacker_path = Slpdas_core.Attacker.State.path attacker;
+    attacker_final = Slpdas_core.Attacker.State.location attacker;
+    schedule;
+    strong_das = Slpdas_core.Das_check.is_strong graph schedule;
+    weak_das = Slpdas_core.Das_check.is_weak graph schedule;
+    complete = Slpdas_core.Schedule.complete schedule;
+    setup_messages = !setup_messages;
+    total_messages = Slpdas_sim.Engine.broadcasts engine;
+    broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
+    duration_seconds = Slpdas_sim.Engine.time engine;
+    safety_seconds;
+    delta_ss;
+    generated_readings;
+    delivered_readings;
+    delivery_ratio =
+      (if generated_readings = 0 then 0.0
+       else
+         float_of_int (List.length delivered_readings)
+         /. float_of_int generated_readings);
+    mean_latency_periods =
+      (match latencies with
+      | [] -> None
+      | _ -> Some (Slpdas_util.Stats.mean latencies));
+  }

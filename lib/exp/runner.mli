@@ -1,0 +1,70 @@
+(** Full discrete-event simulation of one experiment run: the distributed
+    protocol under the engine with an eavesdropping attacker, reproducing the
+    paper's TOSSIM methodology (§VI).
+
+    A run proceeds through the protocol's setup (neighbour discovery, Phase
+    1, and Phases 2–3 in SLP mode), extracts and checks the resulting
+    schedule when the source activates at period MSP, then lets the attacker
+    (starting at the sink, §VI-C) chase transmissions until it reaches the
+    source, the safety period expires, or the upper time bound is hit. *)
+
+type config = {
+  topology : Slpdas_wsn.Topology.t;
+  mode : Slpdas_core.Protocol.mode;
+  params : Params.t;
+  link : Slpdas_sim.Link_model.t;
+  airtime : float option;
+      (** enable destructive-interference modelling in the engine (see
+          {!Slpdas_sim.Engine.create}); [None] is the paper's ideal model *)
+  attacker : start:int -> Slpdas_core.Attacker.params;
+      (** built at the sink; the paper's evaluation uses
+          {!Slpdas_core.Attacker.canonical} *)
+  seed : int;
+}
+
+val default_config :
+  topology:Slpdas_wsn.Topology.t ->
+  mode:Slpdas_core.Protocol.mode ->
+  seed:int ->
+  config
+(** Table I parameters, ideal links, canonical (1,0,1,sink,lowest-slot)
+    attacker. *)
+
+type result = {
+  captured : bool;  (** source reached within the safety period *)
+  capture_seconds : float option;
+      (** seconds after source activation at which capture happened *)
+  attacker_path : int list;  (** positions occupied, oldest first *)
+  attacker_final : int;
+  schedule : Slpdas_core.Schedule.t;  (** extracted at source activation *)
+  strong_das : bool;  (** {!Slpdas_core.Das_check.is_strong} of [schedule] *)
+  weak_das : bool;
+  complete : bool;  (** every non-sink node obtained a slot *)
+  setup_messages : int;  (** transmissions before source activation *)
+  total_messages : int;  (** transmissions for the whole run *)
+  broadcasts_by_node : int array;  (** per-node transmission counts *)
+  duration_seconds : float;  (** simulated time covered by the run *)
+  safety_seconds : float;  (** length of the safety period *)
+  delta_ss : int;
+  generated_readings : int;
+      (** readings the source produced (one per normal period) *)
+  delivered_readings : (int * int * int) list;
+      (** readings that completed the convergecast:
+          (source, generation period, arrival period) *)
+  delivery_ratio : float;  (** delivered / generated *)
+  mean_latency_periods : float option;
+      (** mean (arrival − generation) over delivered readings; a strong DAS
+          convergecasts within the generation period (latency 0), while the
+          slot inversions Phase 3 introduces can add periods *)
+}
+
+val run :
+  ?instrument:
+    ((Slpdas_core.Protocol.state, Slpdas_core.Messages.t) Slpdas_sim.Engine.t ->
+    unit) ->
+  config ->
+  result
+(** Execute one seeded run.  Deterministic: equal configs give equal
+    results.  [instrument] is called with the freshly created engine before
+    any event is processed — attach {!Slpdas_sim.Trace} recorders or extra
+    observers there. *)

@@ -1,0 +1,87 @@
+type 'm trigger =
+  | Timeout of string
+  | Receive of { sender : int; msg : 'm }
+  | Round_end
+
+type 'm effect_ =
+  | Broadcast of 'm
+  | Set_timer of { name : string; after : float }
+  | Stop_timer of string
+
+type ('s, 'm) action = {
+  name : string;
+  handler : self:int -> 's -> 'm trigger -> ('s * 'm effect_ list) option;
+}
+
+type ('s, 'm) spontaneous = {
+  sname : string;
+  sguard : 's -> bool;
+  scommand : self:int -> 's -> 's * 'm effect_ list;
+}
+
+type ('s, 'm) program = {
+  init : self:int -> 's * 'm effect_ list;
+  actions : ('s, 'm) action list;
+  spontaneous : ('s, 'm) spontaneous list;
+}
+
+exception Divergent of string
+
+let spontaneous_fuel = 10_000
+
+module Instance = struct
+  type ('s, 'm) t = {
+    program : ('s, 'm) program;
+    self : int;
+    mutable state : 's;
+    mutable fired : string list;
+  }
+
+  let self t = t.self
+
+  let state t = t.state
+
+  let fired t = t.fired
+
+  (* Run spontaneous actions to fixpoint, returning effects in order. *)
+  let settle t =
+    let effects = ref [] in
+    let rec loop fuel =
+      if fuel <= 0 then raise (Divergent "spontaneous actions did not settle");
+      let enabled =
+        List.find_opt (fun s -> s.sguard t.state) t.program.spontaneous
+      in
+      match enabled with
+      | None -> ()
+      | Some s ->
+        let state', effs = s.scommand ~self:t.self t.state in
+        t.state <- state';
+        t.fired <- s.sname :: t.fired;
+        effects := !effects @ [ effs ];
+        loop (fuel - 1)
+    in
+    loop spontaneous_fuel;
+    List.concat !effects
+
+  let create program ~self =
+    let state, boot_effects = program.init ~self in
+    let t = { program; self; state; fired = [ "init" ] } in
+    let settle_effects = settle t in
+    (t, boot_effects @ settle_effects)
+
+  let deliver t trigger =
+    let rec try_actions = function
+      | [] -> []
+      | action :: rest ->
+        begin match action.handler ~self:t.self t.state trigger with
+        | None -> try_actions rest
+        | Some (state', effects) ->
+          t.state <- state';
+          t.fired <- action.name :: t.fired;
+          effects
+        end
+    in
+    let action_effects = try_actions t.program.actions in
+    let settle_effects = settle t in
+    action_effects @ settle_effects
+end

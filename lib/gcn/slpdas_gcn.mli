@@ -1,0 +1,85 @@
+(** Guarded-command notation (GCN) runtime.
+
+    The paper (§III-A) writes every protocol as a set of actions
+    [⟨name⟩ :: ⟨guard⟩ → ⟨command⟩] in Dijkstra's guarded-command notation,
+    with two special guard forms: [timeout(timer)] and [rcv(sender, msg)].
+    This module executes that notation directly so the protocol code in
+    [lib/core] is a transliteration of Figures 2–4 rather than a
+    reinterpretation.
+
+    An action is modelled as a function from the current state and an
+    incoming {!type:trigger} to an optional [(new state, effects)] pair;
+    [None] means the guard is false.  Commands are pure: all interaction with
+    the environment (radio, timers) is expressed as {!type:effect_} values
+    interpreted by the host (the discrete-event engine, or a test harness).
+
+    Semantics of a delivered trigger: actions are tried in declaration order
+    and the first enabled one fires (a deterministic refinement of GCN's
+    nondeterministic choice — necessary for reproducible simulation).  After
+    any action fires, {e spontaneous} actions (guards over state only, the
+    bare-predicate guards of the paper such as [startR :: startNode → …]) are
+    run to fixpoint.  A well-formed spontaneous action must falsify its own
+    guard; the runtime enforces termination with a fuel bound. *)
+
+type 'm trigger =
+  | Timeout of string  (** the named timer expired *)
+  | Receive of { sender : int; msg : 'm }
+      (** a message was dequeued from the channel variable [ch] *)
+  | Round_end
+      (** the channel has been drained: the [rcv⟨⟩] pseudo-guard of Fig. 2
+          ("finished receiving all messages").  The host raises this at the
+          end of each dissemination round. *)
+
+type 'm effect_ =
+  | Broadcast of 'm  (** transmit to all 1-hop neighbours *)
+  | Set_timer of { name : string; after : float }
+      (** (re)arm a named one-shot timer [after] seconds from now *)
+  | Stop_timer of string  (** cancel a timer; no-op if not armed *)
+
+type ('s, 'm) action = {
+  name : string;
+  handler : self:int -> 's -> 'm trigger -> ('s * 'm effect_ list) option;
+      (** [None] when the guard is false for this state/trigger. *)
+}
+
+type ('s, 'm) spontaneous = {
+  sname : string;
+  sguard : 's -> bool;
+  scommand : self:int -> 's -> 's * 'm effect_ list;
+}
+
+type ('s, 'm) program = {
+  init : self:int -> 's * 'm effect_ list;
+      (** initial state and boot effects (the paper's [init] actions). *)
+  actions : ('s, 'm) action list;
+  spontaneous : ('s, 'm) spontaneous list;
+}
+
+exception Divergent of string
+(** Raised when spontaneous actions fail to reach fixpoint within the fuel
+    bound — a bug in the hosted protocol. *)
+
+(** A running instance of a program at one node. *)
+module Instance : sig
+  type ('s, 'm) t
+
+  val create : ('s, 'm) program -> self:int -> ('s, 'm) t * 'm effect_ list
+  (** [create p ~self] boots the program: runs [init], then spontaneous
+      actions to fixpoint, returning the instance and all boot effects in
+      order. *)
+
+  val self : ('s, 'm) t -> int
+
+  val state : ('s, 'm) t -> 's
+  (** Current state (for observers and tests). *)
+
+  val deliver : ('s, 'm) t -> 'm trigger -> 'm effect_ list
+  (** [deliver t trigger] runs the first enabled action for [trigger] (if
+      any), then spontaneous actions to fixpoint, and returns the effects in
+      emission order.  A trigger no action is enabled for is silently
+      dropped, like a message arriving in a state that ignores it. *)
+
+  val fired : ('s, 'm) t -> string list
+  (** Names of all actions fired so far, most recent first: the event trace
+      of §III-A ("event ⟨name⟩ has occurred"). *)
+end

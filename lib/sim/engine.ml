@@ -1,0 +1,207 @@
+let propagation_delay = 0.001
+
+type ('s, 'm) event_kind =
+  | Timer_fire of { node : int; timer : string; generation : int }
+  | Deliver of { node : int; sender : int; msg : 'm }
+  | Callback of (('s, 'm) t -> unit)
+
+and ('s, 'm) event = { at : float; seq : int; kind : ('s, 'm) event_kind }
+
+and ('s, 'm) t = {
+  topology : Slpdas_wsn.Topology.t;
+  link : Link_model.t;
+  airtime : float option;
+  recent_broadcasts : (float * int) Queue.t;
+  rng : Slpdas_util.Rng.t;
+  instances : ('s, 'm) Slpdas_gcn.Instance.t array;
+  queue : ('s, 'm) event Slpdas_util.Heap.t;
+  timer_generations : (int * string, int) Hashtbl.t;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable observers : (time:float -> sender:int -> 'm -> unit) list;
+  mutable broadcast_count : int;
+  broadcast_by_node : int array;
+  mutable delivery_count : int;
+  mutable halted : bool;
+  failed : bool array;
+}
+
+let compare_events a b =
+  match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+
+let time t = t.now
+
+let topology t = t.topology
+
+let node_state t v = Slpdas_gcn.Instance.state t.instances.(v)
+
+let node_fired t v = Slpdas_gcn.Instance.fired t.instances.(v)
+
+let on_broadcast t f = t.observers <- t.observers @ [ f ]
+
+let broadcasts t = t.broadcast_count
+
+let broadcasts_by_node t = Array.copy t.broadcast_by_node
+
+let deliveries t = t.delivery_count
+
+let stop t = t.halted <- true
+
+let stopped t = t.halted
+
+let fail_node t v =
+  if v < 0 || v >= Array.length t.failed then
+    invalid_arg "Engine.fail_node: node out of range";
+  t.failed.(v) <- true
+
+let node_failed t v =
+  if v < 0 || v >= Array.length t.failed then
+    invalid_arg "Engine.node_failed: node out of range";
+  t.failed.(v)
+
+let push t ~at kind =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Slpdas_util.Heap.push t.queue { at; seq; kind }
+
+let schedule t ~at f =
+  if at < t.now then invalid_arg "Engine.schedule: time is in the past";
+  push t ~at (Callback f)
+
+let timer_generation t node timer =
+  Option.value ~default:0 (Hashtbl.find_opt t.timer_generations (node, timer))
+
+let bump_timer_generation t node timer =
+  let g = timer_generation t node timer + 1 in
+  Hashtbl.replace t.timer_generations (node, timer) g;
+  g
+
+let distance t u v =
+  let x1, y1 = t.topology.Slpdas_wsn.Topology.positions.(u)
+  and x2, y2 = t.topology.Slpdas_wsn.Topology.positions.(v) in
+  sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+
+(* With interference modelling on, remember recent transmissions and prune
+   entries that can no longer overlap anything. *)
+let record_broadcast t node =
+  match t.airtime with
+  | None -> ()
+  | Some airtime ->
+    Queue.add (t.now, node) t.recent_broadcasts;
+    let horizon = t.now -. airtime -. (4.0 *. propagation_delay) in
+    let rec prune () =
+      match Queue.peek_opt t.recent_broadcasts with
+      | Some (time, _) when time < horizon ->
+        ignore (Queue.pop t.recent_broadcasts);
+        prune ()
+      | Some _ | None -> ()
+    in
+    prune ()
+
+(* A reception at [node] of a transmission sent at [tx_time] is jammed when
+   any other audible transmission overlaps it (half-duplex: the receiver's
+   own transmissions jam too). *)
+let jammed t ~node ~sender ~tx_time =
+  match t.airtime with
+  | None -> false
+  | Some airtime ->
+    let graph = t.topology.Slpdas_wsn.Topology.graph in
+    Queue.fold
+      (fun acc (time, other) ->
+        acc
+        || (other <> sender
+           && abs_float (time -. tx_time) < airtime
+           && (other = node || Slpdas_wsn.Graph.mem_edge graph node other)))
+      false t.recent_broadcasts
+
+let rec apply_effects t node effects =
+  List.iter
+    (fun effect_ ->
+      match (effect_ : 'm Slpdas_gcn.effect_) with
+      | Slpdas_gcn.Broadcast msg ->
+        t.broadcast_count <- t.broadcast_count + 1;
+        t.broadcast_by_node.(node) <- t.broadcast_by_node.(node) + 1;
+        record_broadcast t node;
+        List.iter (fun f -> f ~time:t.now ~sender:node msg) t.observers;
+        Array.iter
+          (fun v ->
+            if Link_model.delivered t.link t.rng ~distance_m:(distance t node v)
+            then push t ~at:(t.now +. propagation_delay) (Deliver { node = v; sender = node; msg }))
+          (Slpdas_wsn.Graph.neighbours t.topology.Slpdas_wsn.Topology.graph node)
+      | Slpdas_gcn.Set_timer { name; after } ->
+        let generation = bump_timer_generation t node name in
+        push t ~at:(t.now +. after) (Timer_fire { node; timer = name; generation })
+      | Slpdas_gcn.Stop_timer name -> ignore (bump_timer_generation t node name))
+    effects
+
+and inject t ~node trigger =
+  (* Crash-stop failures: a failed node neither processes triggers nor emits
+     effects. *)
+  if not t.failed.(node) then begin
+    let effects = Slpdas_gcn.Instance.deliver t.instances.(node) trigger in
+    apply_effects t node effects
+  end
+
+let create ?airtime ~topology ~link ~rng ~program () =
+  let n = Slpdas_wsn.Graph.n topology.Slpdas_wsn.Topology.graph in
+  let queue = Slpdas_util.Heap.create ~cmp:compare_events in
+  let boot =
+    Array.init n (fun v -> Slpdas_gcn.Instance.create (program ~self:v) ~self:v)
+  in
+  let t =
+    {
+      topology;
+      link;
+      airtime;
+      recent_broadcasts = Queue.create ();
+      rng;
+      instances = Array.map fst boot;
+      queue;
+      timer_generations = Hashtbl.create (4 * n);
+      now = 0.0;
+      next_seq = 0;
+      observers = [];
+      broadcast_count = 0;
+      broadcast_by_node = Array.make n 0;
+      delivery_count = 0;
+      halted = false;
+      failed = Array.make n false;
+    }
+  in
+  Array.iteri (fun v (_, effects) -> apply_effects t v effects) boot;
+  t
+
+let process t event =
+  t.now <- event.at;
+  match event.kind with
+  | Timer_fire { node; timer; generation } ->
+    (* Stale fires (superseded by a later Set/Stop_timer) are dropped. *)
+    if generation = timer_generation t node timer then
+      inject t ~node (Slpdas_gcn.Timeout timer)
+  | Deliver { node; sender; msg } ->
+    if not (jammed t ~node ~sender ~tx_time:(t.now -. propagation_delay)) then begin
+      t.delivery_count <- t.delivery_count + 1;
+      inject t ~node (Slpdas_gcn.Receive { sender; msg })
+    end
+  | Callback f -> f t
+
+let step t =
+  match Slpdas_util.Heap.pop t.queue with
+  | None -> false
+  | Some event ->
+    process t event;
+    true
+
+let run_until t deadline =
+  let rec loop () =
+    if t.halted then ()
+    else begin
+      match Slpdas_util.Heap.peek t.queue with
+      | Some event when event.at <= deadline ->
+        ignore (Slpdas_util.Heap.pop t.queue);
+        process t event;
+        loop ()
+      | Some _ | None -> t.now <- max t.now deadline
+    end
+  in
+  loop ()

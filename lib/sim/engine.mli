@@ -1,0 +1,97 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine plays the role TOSSIM plays in the paper: it hosts one GCN
+    program instance per node of a topology, delivers timer expirations and
+    radio messages as events, and exposes hooks for observers such as the
+    eavesdropping attacker and for harness-driven control events (TDMA round
+    boundaries, measurement probes).
+
+    Events are ordered by [(time, sequence number)], so runs are totally
+    deterministic given the topology, the programs and the link-model RNG.
+
+    Type parameters: ['s] is the per-node protocol state, ['m] the message
+    type; all nodes run programs over the same state and message types. *)
+
+type ('s, 'm) t
+
+val create :
+  ?airtime:float ->
+  topology:Slpdas_wsn.Topology.t ->
+  link:Link_model.t ->
+  rng:Slpdas_util.Rng.t ->
+  program:(self:int -> ('s, 'm) Slpdas_gcn.program) ->
+  unit ->
+  ('s, 'm) t
+(** [create ~topology ~link ~rng ~program ()] boots [program ~self:v] for every
+    node [v] at time 0 and queues their boot effects.  [rng] drives link-loss
+    sampling only; protocol-level randomness belongs in the programs
+    themselves.
+
+    [airtime] enables destructive-interference modelling: each transmission
+    occupies the channel for [airtime] seconds, and a reception at [v] is
+    destroyed when any {e other} transmission audible at [v] (a neighbour's,
+    or [v]'s own — radios are half-duplex) overlaps it.  The paper's TDMA
+    slots exist precisely to prevent this; with [airtime] set, schedules
+    violating the 2-hop collision-freedom of Def. 1 measurably lose data
+    while collision-free ones do not.  Omitted (default), transmissions are
+    instantaneous and never interfere, matching the paper's ideal
+    communication model. *)
+
+val time : ('s, 'm) t -> float
+(** Current simulation time in seconds. *)
+
+val topology : ('s, 'm) t -> Slpdas_wsn.Topology.t
+
+val node_state : ('s, 'm) t -> int -> 's
+(** Observe a node's current protocol state. *)
+
+val node_fired : ('s, 'm) t -> int -> string list
+(** Action-name trace of a node, most recent first. *)
+
+val on_broadcast : ('s, 'm) t -> (time:float -> sender:int -> 'm -> unit) -> unit
+(** Register an observer invoked synchronously at every radio broadcast,
+    regardless of per-link delivery outcomes (an eavesdropper close to the
+    sender hears the transmission itself).  Used by the attacker and by
+    message-overhead metering. *)
+
+val schedule : ('s, 'm) t -> at:float -> (('s, 'm) t -> unit) -> unit
+(** [schedule t ~at f] queues the harness callback [f] at absolute time
+    [at].  Callbacks may inject triggers, schedule further callbacks or stop
+    the run.  @raise Invalid_argument if [at] is in the past. *)
+
+val inject : ('s, 'm) t -> node:int -> 'm Slpdas_gcn.trigger -> unit
+(** [inject t ~node trigger] delivers a trigger to a node immediately (at the
+    current time), processing any resulting effects.  Used by the harness for
+    [Round_end] and by tests. *)
+
+val broadcasts : ('s, 'm) t -> int
+(** Total number of radio transmissions so far (the paper's message-overhead
+    metric counts transmissions, not receptions). *)
+
+val broadcasts_by_node : ('s, 'm) t -> int array
+(** Per-node transmission counts. *)
+
+val deliveries : ('s, 'm) t -> int
+(** Total successful receptions so far. *)
+
+val stop : ('s, 'm) t -> unit
+(** Request that [run_until] return after the current event. *)
+
+val stopped : ('s, 'm) t -> bool
+
+val fail_node : ('s, 'm) t -> int -> unit
+(** [fail_node t v] crash-stops node [v]: from now on it processes no
+    triggers (timers, receptions, injections) and emits nothing.  Its last
+    state remains observable through {!node_state}.  Used by
+    fault-injection experiments; irreversible.
+    @raise Invalid_argument if [v] is out of range. *)
+
+val node_failed : ('s, 'm) t -> int -> bool
+
+val step : ('s, 'm) t -> bool
+(** Process the next event.  [false] iff the queue was empty. *)
+
+val run_until : ('s, 'm) t -> float -> unit
+(** [run_until t deadline] processes events with time ≤ [deadline] (or until
+    {!stop} / queue exhaustion) and advances the clock to [deadline] if not
+    stopped early. *)

@@ -1,0 +1,55 @@
+type t =
+  | Ideal
+  | Lossy of float
+  | Gaussian_noise of {
+      tx_power_dbm : float;
+      path_loss_exponent : float;
+      reference_loss_dbm : float;
+      noise_mean_dbm : float;
+      noise_std_dbm : float;
+      snr_threshold_db : float;
+    }
+
+let default_gaussian =
+  Gaussian_noise
+    {
+      tx_power_dbm = 0.0;
+      path_loss_exponent = 2.5;
+      reference_loss_dbm = 40.0;
+      noise_mean_dbm = -105.0;
+      noise_std_dbm = 5.0;
+      snr_threshold_db = 4.0;
+    }
+
+let delivered model rng ~distance_m =
+  match model with
+  | Ideal -> true
+  | Lossy p -> not (Slpdas_util.Rng.bernoulli rng p)
+  | Gaussian_noise g ->
+    (* Log-distance path loss: PL(d) = PL(1m) + 10·γ·log10(d). *)
+    let d = max distance_m 0.1 in
+    let path_loss =
+      g.reference_loss_dbm +. (10.0 *. g.path_loss_exponent *. log10 d)
+    in
+    let rx_power = g.tx_power_dbm -. path_loss in
+    let noise =
+      Slpdas_util.Rng.gaussian rng ~mean:g.noise_mean_dbm ~std:g.noise_std_dbm
+    in
+    rx_power -. noise >= g.snr_threshold_db
+
+let expected_delivery model ~distance_m ~samples rng =
+  if samples <= 0 then invalid_arg "Link_model.expected_delivery: samples";
+  let ok = ref 0 in
+  for _ = 1 to samples do
+    if delivered model rng ~distance_m then incr ok
+  done;
+  float_of_int !ok /. float_of_int samples
+
+let pp ppf = function
+  | Ideal -> Format.fprintf ppf "ideal"
+  | Lossy p -> Format.fprintf ppf "lossy(p=%.3f)" p
+  | Gaussian_noise g ->
+    Format.fprintf ppf
+      "gaussian-noise(tx=%.1fdBm, gamma=%.2f, noise=%.1f±%.1fdBm, thr=%.1fdB)"
+      g.tx_power_dbm g.path_loss_exponent g.noise_mean_dbm g.noise_std_dbm
+      g.snr_threshold_db

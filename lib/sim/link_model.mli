@@ -1,0 +1,36 @@
+(** Radio link models.
+
+    The paper evaluates over TOSSIM with an ideal communication model and the
+    casino-lab noise file.  We provide the ideal regime plus two parametric
+    substitutes (DESIGN.md §2): i.i.d. loss, and an SNR model with
+    log-distance path loss and a Gaussian noise floor sampled per reception —
+    the same knob the casino-lab trace turns, without the proprietary trace
+    file. *)
+
+type t =
+  | Ideal  (** every transmission within range is received *)
+  | Lossy of float  (** independent per-reception loss probability *)
+  | Gaussian_noise of {
+      tx_power_dbm : float;  (** transmit power (typ. 0 dBm for CC2420) *)
+      path_loss_exponent : float;  (** typ. 2.0 free space … 4.0 indoor *)
+      reference_loss_dbm : float;  (** path loss at 1 m (typ. 40 dB) *)
+      noise_mean_dbm : float;  (** noise floor mean (typ. -105 dBm) *)
+      noise_std_dbm : float;  (** noise floor std; casino-lab is harsh *)
+      snr_threshold_db : float;  (** decode threshold (typ. 4 dB) *)
+    }
+
+val default_gaussian : t
+(** CC2420-flavoured defaults: 0 dBm TX, exponent 2.5, 40 dB reference loss,
+    −105 dBm mean noise, 5 dB noise std, 4 dB threshold.  At the paper's
+    4.5 m spacing this gives near-perfect 1-hop links with occasional
+    noise-induced losses. *)
+
+val delivered : t -> Slpdas_util.Rng.t -> distance_m:float -> bool
+(** [delivered model rng ~distance_m] samples whether one reception at the
+    given distance succeeds. *)
+
+val expected_delivery : t -> distance_m:float -> samples:int -> Slpdas_util.Rng.t -> float
+(** Monte-Carlo estimate of the delivery probability; for calibration tests
+    and documentation. *)
+
+val pp : Format.formatter -> t -> unit

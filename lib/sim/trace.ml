@@ -1,0 +1,36 @@
+type entry = { time : float; sender : int; label : string }
+
+type t = {
+  capacity : int;
+  entries : entry Queue.t;
+  mutable dropped : int;
+}
+
+let attach ?(capacity = 10_000) engine ~describe =
+  if capacity <= 0 then invalid_arg "Trace.attach: capacity must be positive";
+  let t = { capacity; entries = Queue.create (); dropped = 0 } in
+  Engine.on_broadcast engine (fun ~time ~sender msg ->
+      Queue.add { time; sender; label = describe msg } t.entries;
+      if Queue.length t.entries > t.capacity then begin
+        ignore (Queue.pop t.entries);
+        t.dropped <- t.dropped + 1
+      end);
+  t
+
+let entries t = List.of_seq (Queue.to_seq t.entries)
+
+let length t = Queue.length t.entries
+
+let dropped t = t.dropped
+
+let between t ~since ~until =
+  List.filter (fun e -> e.time >= since && e.time < until) (entries t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Queue.iter
+    (fun e ->
+      Format.fprintf ppf "%10.3f  node %-4d %s@ " e.time e.sender e.label)
+    t.entries;
+  if t.dropped > 0 then Format.fprintf ppf "(%d earlier entries dropped)@ " t.dropped;
+  Format.fprintf ppf "@]"

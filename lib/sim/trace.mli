@@ -1,0 +1,37 @@
+(** Broadcast trace recording.
+
+    Attaches to an engine's broadcast hook and keeps a bounded log of who
+    transmitted what and when — the message-timeline view TOSSIM users get
+    from its debug channels.  Used by the CLI's [simulate --trace] and by
+    tests that assert on transmission timelines. *)
+
+type entry = {
+  time : float;
+  sender : int;
+  label : string;  (** the message's description at transmission time *)
+}
+
+type t
+
+val attach :
+  ?capacity:int ->
+  ('s, 'm) Engine.t ->
+  describe:('m -> string) ->
+  t
+(** [attach engine ~describe] starts recording every broadcast.  At most
+    [capacity] (default 10 000) entries are kept; older entries beyond the
+    cap are dropped and counted. *)
+
+val entries : t -> entry list
+(** Recorded entries, oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Entries discarded because the capacity was exceeded. *)
+
+val between : t -> since:float -> until:float -> entry list
+(** Entries with [since <= time < until], oldest first. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per entry: [time sender label]. *)

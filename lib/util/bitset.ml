@@ -1,0 +1,57 @@
+type t = { capacity : int; words : Bytes.t }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Bytes.make ((capacity + 7) / 8) '\000' }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: element out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.words byte
+    (Char.chr (Char.code (Bytes.get t.words byte) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.words byte
+    (Char.chr (Char.code (Bytes.get t.words byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let cardinal t =
+  let count = ref 0 in
+  for i = 0 to Bytes.length t.words - 1 do
+    let b = Char.code (Bytes.get t.words i) in
+    let rec popcount b acc = if b = 0 then acc else popcount (b lsr 1) (acc + (b land 1)) in
+    count := !count + popcount b 0
+  done;
+  !count
+
+let is_empty t =
+  let rec scan i =
+    if i >= Bytes.length t.words then true
+    else if Bytes.get t.words i <> '\000' then false
+    else scan (i + 1)
+  in
+  scan 0
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let copy t = { capacity = t.capacity; words = Bytes.copy t.words }

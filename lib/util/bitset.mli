@@ -1,0 +1,34 @@
+(** Fixed-capacity sets of small integers.
+
+    Node identifiers in a topology are dense integers, so visited-sets in the
+    verifier and BFS frontiers use this representation instead of hash tables:
+    O(1) membership with no allocation on the hot path. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty set accepting members in
+    [\[0, capacity)].  @raise Invalid_argument on negative capacity. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+(** @raise Invalid_argument if the element is out of range. *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Number of members; O(capacity/64). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to members in increasing order. *)
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val copy : t -> t

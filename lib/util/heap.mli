@@ -1,0 +1,36 @@
+(** Polymorphic binary min-heap.
+
+    Used by the discrete-event simulator as its pending-event queue.  The
+    ordering function is supplied at creation time; ties are resolved by the
+    ordering function itself (the simulator orders on [(time, sequence)] so
+    ties never occur). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x].  Amortised O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** [pop_exn h] is [pop h].
+    @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains a copy of [h] in ascending order; [h] itself is
+    unchanged.  O(n log n); intended for tests and debugging. *)

@@ -1,0 +1,99 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let std xs =
+  let xs = require_nonempty "Stats.std" xs in
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let summarize xs =
+  let xs = require_nonempty "Stats.summarize" xs in
+  let n = List.length xs in
+  let mn = List.fold_left min infinity xs in
+  let mx = List.fold_left max neg_infinity xs in
+  { n; mean = mean xs; std = std xs; min = mn; max = mx }
+
+let percentile xs p =
+  let xs = require_nonempty "Stats.percentile" xs in
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let proportion ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.proportion: trials must be positive";
+  float_of_int successes /. float_of_int trials
+
+(* Abramowitz & Stegun 7.1.26: erf(x) ~ 1 - poly(t) exp(-x^2) with
+   t = 1/(1 + 0.3275911 x). *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = abs_float x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    let a1 = 0.254829592
+    and a2 = -0.284496736
+    and a3 = 1.421413741
+    and a4 = -1.453152027
+    and a5 = 1.061405429 in
+    ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1) *. t
+  in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+let two_proportion_p_value ~successes1 ~trials1 ~successes2 ~trials2 =
+  if trials1 <= 0 || trials2 <= 0 then
+    invalid_arg "Stats.two_proportion_p_value: trials must be positive";
+  if
+    successes1 < 0 || successes1 > trials1 || successes2 < 0
+    || successes2 > trials2
+  then invalid_arg "Stats.two_proportion_p_value: successes out of range";
+  let n1 = float_of_int trials1 and n2 = float_of_int trials2 in
+  let p1 = float_of_int successes1 /. n1 in
+  let p2 = float_of_int successes2 /. n2 in
+  let pooled = float_of_int (successes1 + successes2) /. (n1 +. n2) in
+  let variance = pooled *. (1.0 -. pooled) *. ((1.0 /. n1) +. (1.0 /. n2)) in
+  if variance <= 0.0 then if p1 = p2 then 1.0 else 0.0
+  else begin
+    let z = (p1 -. p2) /. sqrt variance in
+    2.0 *. (1.0 -. normal_cdf (abs_float z))
+  end
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes outside [0, trials]";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = p +. (z2 /. (2.0 *. n)) in
+  let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  ((centre -. spread) /. denom, (centre +. spread) /. denom)

@@ -1,0 +1,52 @@
+(** Descriptive statistics for experiment results.
+
+    Capture ratio is a proportion over seeded runs, so the module also
+    provides Wilson score intervals, the standard small-sample confidence
+    interval for binomial proportions. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes all summary fields in one pass.
+    @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val std : float list -> float
+(** Sample standard deviation; [0.] for singleton lists.
+    @raise Invalid_argument on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]] using linear interpolation between
+    order statistics.  @raise Invalid_argument on empty input or [p] outside
+    [\[0,1\]]. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** [wilson_interval ~successes ~trials ~z] is the Wilson score interval for a
+    binomial proportion at critical value [z] (1.96 for 95%).
+    @raise Invalid_argument if [trials <= 0] or [successes] outside
+    [\[0, trials\]]. *)
+
+val proportion : successes:int -> trials:int -> float
+(** [proportion ~successes ~trials] is the point estimate [successes/trials].
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function (Abramowitz & Stegun
+    7.1.26 erf approximation, |error| < 1.5e-7). *)
+
+val two_proportion_p_value :
+  successes1:int -> trials1:int -> successes2:int -> trials2:int -> float
+(** Two-sided pooled two-proportion z-test: the p-value for "the two capture
+    ratios are equal".  Used when reporting that SLP DAS beats the
+    protectionless baseline by more than seed noise.
+    @raise Invalid_argument on non-positive trials or out-of-range
+    successes.  Returns 1.0 when both proportions are degenerate (pooled
+    variance zero). *)

@@ -1,0 +1,122 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Tabular.render: ragged row")
+    rows;
+  let align =
+    match align with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Tabular.render: align arity mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let fmt_row cells =
+    let padded =
+      List.map2
+        (fun (w, a) cell -> pad a w cell)
+        (List.combine widths align)
+        cells
+    in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_cell cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quoting then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Tabular.to_csv: ragged row")
+    rows;
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let bar_width = 40
+
+let bar value max_value =
+  if max_value <= 0.0 then ""
+  else begin
+    let n =
+      int_of_float (Float.round (value /. max_value *. float_of_int bar_width))
+    in
+    String.make (max 0 n) '#'
+  end
+
+let bar_chart ~title ~unit_label series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let max_value = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  List.iter
+    (fun (label, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s | %-*s %.2f %s\n"
+           (pad Left label_width label)
+           bar_width (bar value max_value) value unit_label))
+    series;
+  Buffer.contents buf
+
+let grouped_bar_chart ~title ~unit_label ~group_names rows =
+  let arity = List.length group_names in
+  List.iter
+    (fun (_, vs) ->
+      if List.length vs <> arity then
+        invalid_arg "Tabular.grouped_bar_chart: ragged row")
+    rows;
+  let series =
+    List.concat_map
+      (fun (row_label, vs) ->
+        List.map2 (fun g v -> (row_label ^ " / " ^ g, v)) group_names vs)
+      rows
+  in
+  bar_chart ~title ~unit_label series

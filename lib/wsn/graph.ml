@@ -1,0 +1,199 @@
+type t = { n : int; adj : int array array; num_edges : int }
+
+module Int_set = Set.Make (Int)
+
+let create ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let sets = Array.make (max n 1) Int_set.empty in
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.create: vertex %d out of range" v)
+  in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Graph.create: self-loop";
+      sets.(u) <- Int_set.add v sets.(u);
+      sets.(v) <- Int_set.add u sets.(v))
+    edges;
+  let adj =
+    Array.init n (fun u -> Array.of_list (Int_set.elements sets.(u)))
+  in
+  let num_edges =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2
+  in
+  { n; adj; num_edges }
+
+let n g = g.n
+
+let num_edges g = g.num_edges
+
+let neighbours g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.neighbours: vertex out of range";
+  g.adj.(u)
+
+let neighbour_list g u = Array.to_list (neighbours g u)
+
+let degree g u = Array.length (neighbours g u)
+
+let mem_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then false
+  else begin
+    let a = g.adj.(u) in
+    (* Binary search in the sorted adjacency array. *)
+    let rec search lo hi =
+      if lo >= hi then false
+      else begin
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = v then true
+        else if a.(mid) < v then search (mid + 1) hi
+        else search lo mid
+      end
+    in
+    search 0 (Array.length a)
+  end
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let fold_vertices f g init =
+  let acc = ref init in
+  for u = 0 to g.n - 1 do
+    acc := f u !acc
+  done;
+  !acc
+
+let bfs_distances g src =
+  if src < 0 || src >= g.n then
+    invalid_arg "Graph.bfs_distances: vertex out of range";
+  let dist = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  dist
+
+let hop_distance g u v =
+  let dist = bfs_distances g u in
+  if dist.(v) < 0 then None else Some dist.(v)
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let dist = bfs_distances g 0 in
+    Array.for_all (fun d -> d >= 0) dist
+  end
+
+let reachable_from g src ~excluding =
+  if src < 0 || src >= g.n then
+    invalid_arg "Graph.reachable_from: vertex out of range";
+  let seen = Array.make g.n false in
+  if not (excluding src) then begin
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      Array.iter
+        (fun v ->
+          if (not seen.(v)) && not (excluding v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end)
+        g.adj.(u)
+    done
+  end;
+  seen
+
+let connected_components g =
+  let assigned = Array.make g.n false in
+  let components = ref [] in
+  for v = 0 to g.n - 1 do
+    if not assigned.(v) then begin
+      let members = ref [] in
+      let queue = Queue.create () in
+      assigned.(v) <- true;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        members := u :: !members;
+        Array.iter
+          (fun w ->
+            if not assigned.(w) then begin
+              assigned.(w) <- true;
+              Queue.add w queue
+            end)
+          g.adj.(u)
+      done;
+      components := List.sort compare !members :: !components
+    end
+  done;
+  List.rev !components
+
+let diameter g =
+  if g.n = 0 then 0
+  else begin
+    let best = ref 0 in
+    let disconnected = ref false in
+    for u = 0 to g.n - 1 do
+      let dist = bfs_distances g u in
+      Array.iter
+        (fun d -> if d < 0 then disconnected := true else best := max !best d)
+        dist
+    done;
+    if !disconnected then -1 else !best
+  end
+
+let two_hop_neighbourhood g u =
+  let seen = Slpdas_util.Bitset.create g.n in
+  Array.iter
+    (fun v ->
+      Slpdas_util.Bitset.add seen v;
+      Array.iter (fun w -> Slpdas_util.Bitset.add seen w) g.adj.(v))
+    (neighbours g u);
+  Slpdas_util.Bitset.remove seen u;
+  Slpdas_util.Bitset.elements seen
+
+let shortest_path_parents g ~dist u =
+  if Array.length dist <> g.n then
+    invalid_arg "Graph.shortest_path_parents: distance array arity mismatch";
+  Array.to_list g.adj.(u)
+  |> List.filter (fun m -> dist.(u) > 0 && dist.(m) = dist.(u) - 1)
+
+let shortest_path g ~src ~dst =
+  let dist = bfs_distances g dst in
+  if dist.(src) < 0 then None
+  else begin
+    (* Walk the distance gradient from src to dst, taking the least
+       neighbour id at every step: deterministic and lexicographically
+       least among shortest paths. *)
+    let rec walk u acc =
+      if u = dst then List.rev (u :: acc)
+      else begin
+        match shortest_path_parents g ~dist u with
+        | [] -> assert false (* dist.(u) >= 1 guarantees a parent *)
+        | m :: _ -> walk m (u :: acc)
+      end
+    in
+    Some (walk src [])
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph with %d vertices, %d edges@]" g.n g.num_edges

@@ -1,0 +1,75 @@
+(** Undirected communication graphs.
+
+    A WSN is modelled as an undirected graph [G = (V, E)] over dense integer
+    node identifiers [0 .. n-1] (paper §III-A: uniform circular communication
+    range, so links are symmetric).  The structure is immutable after
+    construction; adjacency lists are sorted, which makes iteration order —
+    and therefore every algorithm built on top — deterministic. *)
+
+type t
+
+val create : n:int -> (int * int) list -> t
+(** [create ~n edges] builds a graph on vertices [0 .. n-1].  Self-loops are
+    rejected; duplicate and reversed duplicates of an edge are collapsed.
+    @raise Invalid_argument on a vertex out of range or a self-loop. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val num_edges : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] is [true] iff [{u,v}] is an edge.  O(log degree). *)
+
+val neighbours : t -> int -> int array
+(** [neighbours g u] is the sorted adjacency array of [u].  The returned
+    array is owned by the graph and must not be mutated. *)
+
+val neighbour_list : t -> int -> int list
+(** [neighbour_list g u] is [neighbours g u] as a fresh list. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** All edges with [u < v], lexicographically sorted. *)
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val bfs_distances : t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices map to [-1]. *)
+
+val hop_distance : t -> int -> int -> int option
+(** [hop_distance g u v] is the length of a shortest path, if any. *)
+
+val is_connected : t -> bool
+
+val reachable_from : t -> int -> excluding:(int -> bool) -> bool array
+(** [reachable_from g src ~excluding] marks the vertices reachable from
+    [src] through vertices for which [excluding] is false (the source itself
+    included only if not excluded).  Used by fault-injection analyses to
+    reason about the surviving subnetwork without materialising a
+    subgraph. *)
+
+val connected_components : t -> int list list
+(** Vertex sets of the connected components, each sorted, ordered by their
+    smallest member. *)
+
+val diameter : t -> int
+(** Longest shortest path over all pairs; [-1] for a disconnected graph.
+    O(n·(n+m)). *)
+
+val two_hop_neighbourhood : t -> int -> int list
+(** [two_hop_neighbourhood g u] is the set [CG(u)] of the paper (Def. 1): all
+    vertices at hop distance 1 or 2 from [u], excluding [u], sorted. *)
+
+val shortest_path_parents : t -> dist:int array -> int -> int list
+(** [shortest_path_parents g ~dist u] lists the neighbours of [u] that lie on
+    a shortest path from [u] towards the root of [dist] (i.e. neighbours [m]
+    with [dist.(m) = dist.(u) - 1]), sorted. *)
+
+val shortest_path : t -> src:int -> dst:int -> int list option
+(** [shortest_path g ~src ~dst] is one shortest path [src; ...; dst]
+    (lexicographically least among shortest paths), if any. *)
+
+val pp : Format.formatter -> t -> unit

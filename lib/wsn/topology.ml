@@ -1,0 +1,173 @@
+type t = {
+  name : string;
+  graph : Graph.t;
+  positions : (float * float) array;
+  source : int;
+  sink : int;
+}
+
+let grid_coords ~dim v = (v / dim, v mod dim)
+
+let grid_node ~dim ~row ~col =
+  if row < 0 || row >= dim || col < 0 || col >= dim then
+    invalid_arg "Topology.grid_node: outside the grid";
+  (row * dim) + col
+
+let grid ?(spacing = 4.5) dim =
+  if dim < 2 then invalid_arg "Topology.grid: dim must be >= 2";
+  let n = dim * dim in
+  let edges = ref [] in
+  for r = 0 to dim - 1 do
+    for c = 0 to dim - 1 do
+      let v = grid_node ~dim ~row:r ~col:c in
+      if c + 1 < dim then edges := (v, grid_node ~dim ~row:r ~col:(c + 1)) :: !edges;
+      if r + 1 < dim then edges := (v, grid_node ~dim ~row:(r + 1) ~col:c) :: !edges
+    done
+  done;
+  let graph = Graph.create ~n !edges in
+  let positions =
+    Array.init n (fun v ->
+        let r, c = grid_coords ~dim v in
+        (float_of_int c *. spacing, float_of_int r *. spacing))
+  in
+  let centre = (dim - 1) / 2 in
+  {
+    name = Printf.sprintf "grid-%dx%d" dim dim;
+    graph;
+    positions;
+    source = 0;
+    sink = grid_node ~dim ~row:centre ~col:centre;
+  }
+
+let grid8 ?(spacing = 4.5) dim =
+  if dim < 2 then invalid_arg "Topology.grid8: dim must be >= 2";
+  let base = grid ~spacing dim in
+  let extra = ref [] in
+  for r = 0 to dim - 2 do
+    for c = 0 to dim - 1 do
+      let v = grid_node ~dim ~row:r ~col:c in
+      if c + 1 < dim then
+        extra := (v, grid_node ~dim ~row:(r + 1) ~col:(c + 1)) :: !extra;
+      if c > 0 then
+        extra := (v, grid_node ~dim ~row:(r + 1) ~col:(c - 1)) :: !extra
+    done
+  done;
+  {
+    base with
+    name = Printf.sprintf "grid8-%dx%d" dim dim;
+    graph = Graph.create ~n:(dim * dim) (Graph.edges base.graph @ !extra);
+  }
+
+let torus ?(spacing = 4.5) dim =
+  if dim < 3 then invalid_arg "Topology.torus: dim must be >= 3";
+  let n = dim * dim in
+  let edges = ref [] in
+  for r = 0 to dim - 1 do
+    for c = 0 to dim - 1 do
+      let v = grid_node ~dim ~row:r ~col:c in
+      edges := (v, grid_node ~dim ~row:r ~col:((c + 1) mod dim)) :: !edges;
+      edges := (v, grid_node ~dim ~row:((r + 1) mod dim) ~col:c) :: !edges
+    done
+  done;
+  let graph = Graph.create ~n !edges in
+  let positions =
+    Array.init n (fun v ->
+        let r, c = grid_coords ~dim v in
+        (float_of_int c *. spacing, float_of_int r *. spacing))
+  in
+  let centre = dim / 2 in
+  {
+    name = Printf.sprintf "torus-%dx%d" dim dim;
+    graph;
+    positions;
+    source = 0;
+    sink = grid_node ~dim ~row:centre ~col:centre;
+  }
+
+let line ?(spacing = 4.5) n =
+  if n < 2 then invalid_arg "Topology.line: n must be >= 2";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  {
+    name = Printf.sprintf "line-%d" n;
+    graph = Graph.create ~n edges;
+    positions = Array.init n (fun i -> (float_of_int i *. spacing, 0.0));
+    source = 0;
+    sink = n - 1;
+  }
+
+let ring ?(spacing = 4.5) n =
+  if n < 3 then invalid_arg "Topology.ring: n must be >= 3";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let radius = spacing *. float_of_int n /. (2.0 *. Float.pi) in
+  let positions =
+    Array.init n (fun i ->
+        let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        (radius *. cos angle, radius *. sin angle))
+  in
+  {
+    name = Printf.sprintf "ring-%d" n;
+    graph = Graph.create ~n edges;
+    positions;
+    source = 0;
+    sink = n / 2;
+  }
+
+let distance (x1, y1) (x2, y2) = sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+
+let random_unit_disk rng ~n ~side ~range ~max_attempts =
+  if n < 2 then invalid_arg "Topology.random_unit_disk: n must be >= 2";
+  let attempt () =
+    let positions =
+      Array.init n (fun _ ->
+          (Slpdas_util.Rng.float rng side, Slpdas_util.Rng.float rng side))
+    in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if distance positions.(u) positions.(v) <= range then
+          edges := (u, v) :: !edges
+      done
+    done;
+    let graph = Graph.create ~n !edges in
+    if Graph.is_connected graph then Some (graph, positions) else None
+  in
+  let rec try_place remaining =
+    if remaining <= 0 then None
+    else begin
+      match attempt () with
+      | Some placed -> Some placed
+      | None -> try_place (remaining - 1)
+    end
+  in
+  match try_place max_attempts with
+  | None -> None
+  | Some (graph, positions) ->
+    let centre = (side /. 2.0, side /. 2.0) in
+    let closest_to_centre = ref 0 in
+    for v = 1 to n - 1 do
+      if distance positions.(v) centre < distance positions.(!closest_to_centre) centre
+      then closest_to_centre := v
+    done;
+    let sink = !closest_to_centre in
+    let dist = Graph.bfs_distances graph sink in
+    let source = ref (if sink = 0 then 1 else 0) in
+    for v = 0 to n - 1 do
+      if v <> sink && dist.(v) > dist.(!source) then source := v
+    done;
+    Some
+      {
+        name = Printf.sprintf "unit-disk-%d" n;
+        graph;
+        positions;
+        source = !source;
+        sink;
+      }
+
+let source_sink_distance t =
+  match Graph.hop_distance t.graph t.source t.sink with
+  | Some d -> d
+  | None -> invalid_arg "Topology.source_sink_distance: disconnected"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %a; source=%d sink=%d@]" t.name Graph.pp t.graph
+    t.source t.sink

@@ -1,0 +1,72 @@
+(** Concrete WSN deployments: a graph plus node positions and the paper's
+    source/sink conventions.
+
+    The paper's evaluation uses square grids (11×11, 15×15, 21×21) with 4.5 m
+    spacing and "only vertical and horizontal transmission", i.e. the
+    4-connected grid graph, with the top-left node as source and the centre
+    node as sink.  Other generators are provided for tests and for exploring
+    the protocol beyond the paper's layouts. *)
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  positions : (float * float) array;  (** metres; indexed by node id *)
+  source : int;  (** default asset-detecting node *)
+  sink : int;  (** base station *)
+}
+
+val grid : ?spacing:float -> int -> t
+(** [grid dim] is the [dim × dim] 4-connected grid.  Node [r*dim + c] sits at
+    row [r], column [c].  Source is node [0] (top-left); sink is the centre
+    node ([dim] should be odd for an exact centre; for even [dim] the
+    upper-left of the four central nodes is used).  Default [spacing] is
+    4.5 m, as in the paper.
+    @raise Invalid_argument if [dim < 2]. *)
+
+val grid_coords : dim:int -> int -> int * int
+(** [grid_coords ~dim v] is [(row, col)] of node [v] in [grid dim]. *)
+
+val grid_node : dim:int -> row:int -> col:int -> int
+(** Inverse of {!grid_coords}.
+    @raise Invalid_argument if outside the grid. *)
+
+val grid8 : ?spacing:float -> int -> t
+(** [grid8 dim] is the 8-connected (Moore neighbourhood) variant of
+    {!grid}: diagonal links as well.  The paper restricts transmission to
+    vertical/horizontal; this variant exists for robustness ablations of
+    the protocol under denser connectivity. *)
+
+val torus : ?spacing:float -> int -> t
+(** [torus dim] is the 4-connected grid with rows and columns wrapped
+    around: no boundary, so the slot field of a DAS has no maximal-depth
+    corners — an adversarial topology for corner-seeking analyses.  Source
+    is node 0 (a farthest node from the sink), sink is the centre node.
+    @raise Invalid_argument if [dim < 3]. *)
+
+val line : ?spacing:float -> int -> t
+(** [line n] is the path graph on [n] nodes; source node [0], sink node
+    [n-1].  @raise Invalid_argument if [n < 2]. *)
+
+val ring : ?spacing:float -> int -> t
+(** [ring n] is the cycle on [n] nodes; source node [0], sink node [n/2].
+    @raise Invalid_argument if [n < 3]. *)
+
+val random_unit_disk :
+  Slpdas_util.Rng.t ->
+  n:int ->
+  side:float ->
+  range:float ->
+  max_attempts:int ->
+  t option
+(** [random_unit_disk rng ~n ~side ~range ~max_attempts] scatters [n] nodes
+    uniformly in a [side × side] square and connects pairs within [range]
+    metres, retrying until the graph is connected (up to [max_attempts]
+    placements).  Source is the node farthest from the sink; sink is the node
+    closest to the centre of the square.  [None] if no connected placement
+    was found. *)
+
+val source_sink_distance : t -> int
+(** Hop distance ∆ss between source and sink.
+    @raise Invalid_argument if disconnected. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,249 @@
+(* Tests for the guarded-command runtime (Slpdas_gcn). *)
+
+module Gcn = Slpdas_gcn
+
+(* A small counter program used throughout:
+   - "tick" on Timeout "t": increments and re-arms;
+   - "recv" on Receive: adds the payload, broadcasts the running total;
+   - spontaneous "sat": once the counter reaches 10, emits a broadcast and
+     latches (guard falsifies itself). *)
+type counter = { count : int; latched : bool }
+
+let counter_program =
+  let init ~self:_ =
+    ({ count = 0; latched = false }, [ Gcn.Set_timer { name = "t"; after = 1.0 } ])
+  in
+  let tick =
+    {
+      Gcn.name = "tick";
+      handler =
+        (fun ~self:_ s trigger ->
+          match trigger with
+          | Gcn.Timeout "t" ->
+            Some
+              ( { s with count = s.count + 1 },
+                [ Gcn.Set_timer { name = "t"; after = 1.0 } ] )
+          | _ -> None);
+    }
+  in
+  let recv =
+    {
+      Gcn.name = "recv";
+      handler =
+        (fun ~self:_ s trigger ->
+          match trigger with
+          | Gcn.Receive { sender = _; msg } ->
+            Some ({ s with count = s.count + msg }, [ Gcn.Broadcast (s.count + msg) ])
+          | _ -> None);
+    }
+  in
+  let sat =
+    {
+      Gcn.sname = "sat";
+      sguard = (fun s -> s.count >= 10 && not s.latched);
+      scommand = (fun ~self:_ s -> ({ s with latched = true }, [ Gcn.Broadcast (-1) ]));
+    }
+  in
+  { Gcn.init; actions = [ tick; recv ]; spontaneous = [ sat ] }
+
+let test_init_effects () =
+  let _, effects = Gcn.Instance.create counter_program ~self:3 in
+  Alcotest.(check int) "one boot effect" 1 (List.length effects);
+  match effects with
+  | [ Gcn.Set_timer { name; after } ] ->
+    Alcotest.(check string) "timer name" "t" name;
+    Alcotest.(check (float 1e-9)) "delay" 1.0 after
+  | _ -> Alcotest.fail "expected a Set_timer effect"
+
+let test_timeout_dispatch () =
+  let inst, _ = Gcn.Instance.create counter_program ~self:0 in
+  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "t") in
+  Alcotest.(check int) "count" 1 (Gcn.Instance.state inst).count;
+  Alcotest.(check int) "rearm effect" 1 (List.length effects)
+
+let test_unknown_timeout_ignored () =
+  let inst, _ = Gcn.Instance.create counter_program ~self:0 in
+  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "nope") in
+  Alcotest.(check int) "no effects" 0 (List.length effects);
+  Alcotest.(check int) "state unchanged" 0 (Gcn.Instance.state inst).count
+
+let test_receive_dispatch () =
+  let inst, _ = Gcn.Instance.create counter_program ~self:0 in
+  let effects = Gcn.Instance.deliver inst (Gcn.Receive { sender = 9; msg = 5 }) in
+  Alcotest.(check int) "count" 5 (Gcn.Instance.state inst).count;
+  match effects with
+  | [ Gcn.Broadcast 5 ] -> ()
+  | _ -> Alcotest.fail "expected Broadcast 5"
+
+let test_spontaneous_fires_once () =
+  let inst, _ = Gcn.Instance.create counter_program ~self:0 in
+  let effects = Gcn.Instance.deliver inst (Gcn.Receive { sender = 1; msg = 12 }) in
+  (* recv effect then the latch broadcast from the spontaneous action *)
+  Alcotest.(check int) "two effects" 2 (List.length effects);
+  Alcotest.(check bool) "latched" true (Gcn.Instance.state inst).latched;
+  (* Further triggers do not re-fire the latched spontaneous action. *)
+  let effects2 = Gcn.Instance.deliver inst (Gcn.Timeout "t") in
+  Alcotest.(check int) "only rearm" 1 (List.length effects2)
+
+let test_fired_trace () =
+  let inst, _ = Gcn.Instance.create counter_program ~self:0 in
+  ignore (Gcn.Instance.deliver inst (Gcn.Timeout "t"));
+  ignore (Gcn.Instance.deliver inst (Gcn.Receive { sender = 1; msg = 12 }));
+  Alcotest.(check (list string)) "event trace (most recent first)"
+    [ "sat"; "recv"; "tick"; "init" ]
+    (Gcn.Instance.fired inst)
+
+let test_first_enabled_action_wins () =
+  (* Two actions both match Timeout "x"; declaration order decides. *)
+  let mk name v =
+    {
+      Gcn.name;
+      handler =
+        (fun ~self:_ _s trigger ->
+          match trigger with Gcn.Timeout "x" -> Some (v, []) | _ -> None);
+    }
+  in
+  let program =
+    { Gcn.init = (fun ~self:_ -> (0, [])); actions = [ mk "a" 1; mk "b" 2 ]; spontaneous = [] }
+  in
+  let inst, _ = Gcn.Instance.create program ~self:0 in
+  ignore (Gcn.Instance.deliver inst (Gcn.Timeout "x"));
+  Alcotest.(check int) "first action fired" 1 (Gcn.Instance.state inst)
+
+let test_guard_false_falls_through () =
+  (* The first action's guard rejects even numbers; the second accepts. *)
+  let odd_only =
+    {
+      Gcn.name = "odd";
+      handler =
+        (fun ~self:_ s trigger ->
+          match trigger with
+          | Gcn.Receive { msg; _ } when msg mod 2 = 1 -> Some (s + msg, [])
+          | _ -> None);
+    }
+  in
+  let any =
+    {
+      Gcn.name = "any";
+      handler =
+        (fun ~self:_ s trigger ->
+          match trigger with
+          | Gcn.Receive { msg; _ } -> Some (s + (100 * msg), [])
+          | _ -> None);
+    }
+  in
+  let program =
+    { Gcn.init = (fun ~self:_ -> (0, [])); actions = [ odd_only; any ]; spontaneous = [] }
+  in
+  let inst, _ = Gcn.Instance.create program ~self:0 in
+  ignore (Gcn.Instance.deliver inst (Gcn.Receive { sender = 0; msg = 3 }));
+  Alcotest.(check int) "odd handled by first" 3 (Gcn.Instance.state inst);
+  ignore (Gcn.Instance.deliver inst (Gcn.Receive { sender = 0; msg = 2 }));
+  Alcotest.(check int) "even fell through" 203 (Gcn.Instance.state inst)
+
+let test_round_end_trigger () =
+  let program =
+    {
+      Gcn.init = (fun ~self:_ -> (0, []));
+      actions =
+        [
+          {
+            Gcn.name = "process";
+            handler =
+              (fun ~self:_ s trigger ->
+                match trigger with Gcn.Round_end -> Some (s + 1, []) | _ -> None);
+          };
+        ];
+      spontaneous = [];
+    }
+  in
+  let inst, _ = Gcn.Instance.create program ~self:0 in
+  ignore (Gcn.Instance.deliver inst Gcn.Round_end);
+  ignore (Gcn.Instance.deliver inst Gcn.Round_end);
+  Alcotest.(check int) "two rounds" 2 (Gcn.Instance.state inst)
+
+let test_divergent_spontaneous_detected () =
+  let runaway =
+    {
+      Gcn.sname = "runaway";
+      sguard = (fun _ -> true);
+      scommand = (fun ~self:_ s -> (s + 1, []));
+    }
+  in
+  let program =
+    { Gcn.init = (fun ~self:_ -> (0, [])); actions = []; spontaneous = [ runaway ] }
+  in
+  Alcotest.check_raises "divergence"
+    (Gcn.Divergent "spontaneous actions did not settle") (fun () ->
+      ignore (Gcn.Instance.create program ~self:0))
+
+let test_spontaneous_chain () =
+  (* Two spontaneous actions that enable each other once: a then b. *)
+  let a =
+    {
+      Gcn.sname = "a";
+      sguard = (fun (x, _) -> x = 1);
+      scommand = (fun ~self:_ (_, y) -> ((2, y), [ Gcn.Broadcast "a" ]));
+    }
+  in
+  let b =
+    {
+      Gcn.sname = "b";
+      sguard = (fun (x, y) -> x = 2 && not y);
+      scommand = (fun ~self:_ (x, _) -> ((x, true), [ Gcn.Broadcast "b" ]));
+    }
+  in
+  let bump =
+    {
+      Gcn.name = "bump";
+      handler =
+        (fun ~self:_ (_, y) trigger ->
+          match trigger with Gcn.Timeout "go" -> Some ((1, y), []) | _ -> None);
+    }
+  in
+  let program =
+    { Gcn.init = (fun ~self:_ -> ((0, false), [])); actions = [ bump ]; spontaneous = [ a; b ] }
+  in
+  let inst, _ = Gcn.Instance.create program ~self:0 in
+  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "go") in
+  Alcotest.(check int) "both spontaneous effects" 2 (List.length effects);
+  Alcotest.(check (list string)) "order a then b"
+    [ "b"; "a"; "bump"; "init" ]
+    (Gcn.Instance.fired inst)
+
+let test_self_passed_to_handlers () =
+  let program =
+    {
+      Gcn.init = (fun ~self -> (self, []));
+      actions = [];
+      spontaneous = [];
+    }
+  in
+  let inst, _ = Gcn.Instance.create program ~self:17 in
+  Alcotest.(check int) "self" 17 (Gcn.Instance.self inst);
+  Alcotest.(check int) "state init saw self" 17 (Gcn.Instance.state inst)
+
+let () =
+  Alcotest.run "gcn"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "init effects" `Quick test_init_effects;
+          Alcotest.test_case "timeout dispatch" `Quick test_timeout_dispatch;
+          Alcotest.test_case "unknown timeout ignored" `Quick
+            test_unknown_timeout_ignored;
+          Alcotest.test_case "receive dispatch" `Quick test_receive_dispatch;
+          Alcotest.test_case "spontaneous fires once" `Quick
+            test_spontaneous_fires_once;
+          Alcotest.test_case "fired trace" `Quick test_fired_trace;
+          Alcotest.test_case "first enabled wins" `Quick
+            test_first_enabled_action_wins;
+          Alcotest.test_case "guard falls through" `Quick
+            test_guard_false_falls_through;
+          Alcotest.test_case "round end" `Quick test_round_end_trigger;
+          Alcotest.test_case "divergence detected" `Quick
+            test_divergent_spontaneous_detected;
+          Alcotest.test_case "spontaneous chain" `Quick test_spontaneous_chain;
+          Alcotest.test_case "self propagated" `Quick test_self_passed_to_handlers;
+        ] );
+    ]

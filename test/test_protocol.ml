@@ -1,0 +1,712 @@
+(* Tests for the distributed 3-phase protocol running under the
+   discrete-event engine. *)
+
+module Graph = Slpdas_wsn.Graph
+module Topology = Slpdas_wsn.Topology
+module Rng = Slpdas_util.Rng
+module Engine = Slpdas_sim.Engine
+module Link_model = Slpdas_sim.Link_model
+module Protocol = Slpdas_core.Protocol
+module Schedule = Slpdas_core.Schedule
+module Das_check = Slpdas_core.Das_check
+module Messages = Slpdas_core.Messages
+
+let make_config ?(mode = Protocol.Protectionless) ?(seed = 1) topo =
+  let delta_ss = Topology.source_sink_distance topo in
+  Slpdas_exp.Params.protocol_config Slpdas_exp.Params.default ~mode
+    ~sink:topo.Topology.sink ~delta_ss ~seed
+
+let run_setup ?(mode = Protocol.Protectionless) ?(seed = 1) ?(link = Link_model.Ideal)
+    topo =
+  let config = make_config ~mode ~seed topo in
+  let engine =
+    Engine.create ~topology:topo ~link
+      ~rng:(Rng.create (seed + 99))
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine (Protocol.normal_start config);
+  (config, engine)
+
+let extract config engine =
+  let n = Graph.n (Engine.topology engine).Topology.graph in
+  Protocol.extract_schedule ~n config (fun v -> Engine.node_state engine v)
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_constants () =
+  let topo = Topology.grid 5 in
+  let config = make_config topo in
+  Alcotest.(check (float 1e-9)) "period = slots x slot_period" 5.0
+    (Protocol.period_length config);
+  Alcotest.(check (float 1e-9)) "das start after NDP periods" 20.0
+    (Protocol.das_start config);
+  Alcotest.(check (float 1e-9)) "normal start after MSP periods" 400.0
+    (Protocol.normal_start config)
+
+(* ------------------------------------------------------------------ *)
+(* Neighbour discovery                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_neighbour_discovery () =
+  let topo = Topology.grid 5 in
+  let config = make_config topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 7)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine (Protocol.das_start config);
+  let g = topo.Topology.graph in
+  for v = 0 to Graph.n g - 1 do
+    let st = Engine.node_state engine v in
+    Alcotest.(check (list int))
+      (Printf.sprintf "node %d discovered its neighbours" v)
+      (Graph.neighbour_list g v)
+      (Protocol.Int_set.elements st.Protocol.neighbours)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: distributed DAS                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase1_converges_to_strong_das () =
+  let topo = Topology.grid 7 in
+  let config, engine = run_setup topo in
+  let schedule = extract config engine in
+  Alcotest.(check bool) "complete" true (Schedule.complete schedule);
+  let violations = Das_check.check_strong topo.Topology.graph schedule in
+  if violations <> [] then
+    Alcotest.failf "strong violations: %s"
+      (String.concat "; " (List.map Das_check.violation_to_string violations))
+
+let test_phase1_many_seeds_strong () =
+  let topo = Topology.grid 5 in
+  for seed = 1 to 10 do
+    let config, engine = run_setup ~seed topo in
+    let schedule = extract config engine in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d strong" seed)
+      true
+      (Das_check.is_strong topo.Topology.graph schedule)
+  done
+
+let test_phase1_hop_counts_correct () =
+  let topo = Topology.grid 7 in
+  let _config, engine = run_setup topo in
+  let g = topo.Topology.graph in
+  let dist = Graph.bfs_distances g topo.Topology.sink in
+  for v = 0 to Graph.n g - 1 do
+    let st = Engine.node_state engine v in
+    Alcotest.(check (option int))
+      (Printf.sprintf "hop of %d" v)
+      (Some dist.(v))
+      st.Protocol.hop
+  done
+
+let test_phase1_parents_consistent () =
+  let topo = Topology.grid 7 in
+  let _config, engine = run_setup topo in
+  let g = topo.Topology.graph in
+  let dist = Graph.bfs_distances g topo.Topology.sink in
+  for v = 0 to Graph.n g - 1 do
+    if v <> topo.Topology.sink then begin
+      let st = Engine.node_state engine v in
+      match st.Protocol.parent with
+      | None -> Alcotest.failf "node %d has no parent" v
+      | Some p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "parent %d of %d is an edge" p v)
+          true (Graph.mem_edge g v p);
+        Alcotest.(check int)
+          (Printf.sprintf "parent %d of %d one hop closer" p v)
+          (dist.(v) - 1) dist.(p)
+    end
+  done
+
+let test_phase1_children_match_parents () =
+  let topo = Topology.grid 5 in
+  let _config, engine = run_setup topo in
+  let g = topo.Topology.graph in
+  for v = 0 to Graph.n g - 1 do
+    let st = Engine.node_state engine v in
+    Protocol.Int_set.iter
+      (fun c ->
+        let child_state = Engine.node_state engine c in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%d listed as child of %d" c v)
+          (Some v) child_state.Protocol.parent)
+      st.Protocol.children
+  done
+
+let test_phase1_deterministic_per_seed () =
+  let topo = Topology.grid 5 in
+  let sched seed =
+    let config, engine = run_setup ~seed topo in
+    extract config engine
+  in
+  Alcotest.(check bool) "same seed same schedule" true
+    (Schedule.equal (sched 3) (sched 3));
+  Alcotest.(check bool) "seeds diverge" false (Schedule.equal (sched 3) (sched 4))
+
+let test_phase1_message_budget () =
+  (* DT bounds dissemination traffic: total setup messages stay well below
+     one message per node per round. *)
+  let topo = Topology.grid 5 in
+  let config = make_config topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 5)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine (Protocol.normal_start config);
+  let n = Graph.n topo.Topology.graph in
+  let rounds = 760 in
+  Alcotest.(check bool) "DT caps chatter" true
+    (Engine.broadcasts engine < n * rounds / 10)
+
+let test_phase1_survives_lossy_links () =
+  let topo = Topology.grid 5 in
+  let config, engine = run_setup ~link:(Link_model.Lossy 0.1) topo in
+  let schedule = extract config engine in
+  Alcotest.(check bool) "complete despite losses" true (Schedule.complete schedule);
+  Alcotest.(check bool) "still weak DAS" true
+    (Das_check.is_weak topo.Topology.graph schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Phases 2 and 3: search and refinement                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_slp_mode_produces_weak_das () =
+  let topo = Topology.grid 7 in
+  for seed = 1 to 10 do
+    let config, engine = run_setup ~mode:Protocol.Slp ~seed topo in
+    let schedule = extract config engine in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d complete" seed)
+      true (Schedule.complete schedule);
+    let violations = Das_check.check_weak topo.Topology.graph schedule in
+    if violations <> [] then
+      Alcotest.failf "seed %d weak violations: %s" seed
+        (String.concat "; " (List.map Das_check.violation_to_string violations))
+  done
+
+let test_slp_mode_changes_schedule () =
+  let topo = Topology.grid 7 in
+  let sched mode =
+    let config, engine = run_setup ~mode ~seed:2 topo in
+    extract config engine
+  in
+  Alcotest.(check bool) "refinement changed slots" false
+    (Schedule.equal (sched Protocol.Protectionless) (sched Protocol.Slp))
+
+let test_slp_mode_has_decoy_minimum () =
+  (* After refinement some non-corner node should be a strict local slot
+     minimum (the decoy chain end) in most runs; check across seeds. *)
+  let topo = Topology.grid 9 in
+  let g = topo.Topology.graph in
+  let dim = 9 in
+  let corner v =
+    let r, c = Topology.grid_coords ~dim v in
+    (r = 0 || r = dim - 1) && (c = 0 || c = dim - 1)
+  in
+  let found = ref 0 in
+  for seed = 1 to 5 do
+    let config, engine = run_setup ~mode:Protocol.Slp ~seed topo in
+    let schedule = extract config engine in
+    for v = 0 to Graph.n g - 1 do
+      if (not (corner v)) && v <> topo.Topology.sink then begin
+        match Schedule.slot schedule v with
+        | Some s ->
+          let local_min =
+            List.for_all
+              (fun m ->
+                match Schedule.slot schedule m with
+                | Some ms -> ms > s
+                | None -> true)
+              (Graph.neighbour_list g v)
+          in
+          if local_min then incr found
+        | None -> ()
+      end
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "interior local minima exist (%d found)" !found)
+    true (!found > 0)
+
+let test_protectionless_has_no_interior_minimum () =
+  (* Dual of the previous test: strong DAS means descents only end at
+     maximal-depth leaves (grid corners). *)
+  let topo = Topology.grid 9 in
+  let g = topo.Topology.graph in
+  let dim = 9 in
+  let corner v =
+    let r, c = Topology.grid_coords ~dim v in
+    (r = 0 || r = dim - 1) && (c = 0 || c = dim - 1)
+  in
+  for seed = 1 to 5 do
+    let config, engine = run_setup ~mode:Protocol.Protectionless ~seed topo in
+    let schedule = extract config engine in
+    for v = 0 to Graph.n g - 1 do
+      if (not (corner v)) && v <> topo.Topology.sink then begin
+        match Schedule.slot schedule v with
+        | Some s ->
+          let local_min =
+            List.for_all
+              (fun m ->
+                match Schedule.slot schedule m with
+                | Some ms -> ms > s
+                | None -> true)
+              (Graph.neighbour_list g v)
+          in
+          if local_min then
+            Alcotest.failf "seed %d: interior local minimum at %d" seed v
+        | None -> ()
+      end
+    done
+  done
+
+let test_slp_message_overhead_is_small () =
+  (* §VI: "negligible message overhead".  Allow up to 25% extra setup
+     traffic over protectionless. *)
+  let topo = Topology.grid 7 in
+  let setup_messages mode =
+    let config = make_config ~mode ~seed:3 topo in
+    let engine =
+      Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 11)
+        ~program:(Protocol.program config) ()
+    in
+    Engine.run_until engine (Protocol.normal_start config);
+    Engine.broadcasts engine
+  in
+  let prot = setup_messages Protocol.Protectionless in
+  let slp = setup_messages Protocol.Slp in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %d vs %d within 25%%" slp prot)
+    true
+    (float_of_int slp <= 1.25 *. float_of_int prot)
+
+(* ------------------------------------------------------------------ *)
+(* Normal operation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_normal_phase_transmissions_follow_slots () =
+  let topo = Topology.grid 5 in
+  let config = make_config topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 13)
+      ~program:(Protocol.program config) ()
+  in
+  let normal_start = Protocol.normal_start config in
+  let period = Protocol.period_length config in
+  let data_times = ref [] in
+  Engine.on_broadcast engine (fun ~time ~sender msg ->
+      match msg with
+      | Messages.Data _ -> data_times := (sender, time) :: !data_times
+      | _ -> ());
+  (* Run through two full data periods. *)
+  Engine.run_until engine (normal_start +. (2.0 *. period));
+  let schedule = extract config engine in
+  let n = Graph.n topo.Topology.graph in
+  (* Every non-sink node transmits once per period... *)
+  Alcotest.(check int) "two transmissions per node" (2 * (n - 1))
+    (List.length !data_times);
+  (* ...at the offset its slot dictates. *)
+  List.iter
+    (fun (sender, time) ->
+      let slot = Schedule.slot_exn schedule sender in
+      let within_period = mod_float (time -. normal_start) period in
+      let expected = float_of_int slot *. config.Protocol.slot_period in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d transmits in its slot" sender)
+        true
+        (abs_float (within_period -. expected) < 0.02))
+    !data_times;
+  (* TDMA collision-freedom: within hearing range, transmission times are
+     distinct (they differ by at least one slot). *)
+  let sorted = List.sort compare (List.map snd !data_times) in
+  let rec check_gaps = function
+    | a :: (b :: _ as rest) ->
+      if b -. a > 1e-9 then
+        Alcotest.(check bool) "distinct or full slot apart" true
+          (b -. a > config.Protocol.slot_period -. 1e-6 || b -. a < 1e-6);
+      check_gaps rest
+    | _ -> ()
+  in
+  ignore check_gaps;
+  ignore sorted
+
+let test_sink_never_transmits_data () =
+  let topo = Topology.grid 5 in
+  let config = make_config topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 17)
+      ~program:(Protocol.program config) ()
+  in
+  let sink_data = ref 0 in
+  Engine.on_broadcast engine (fun ~time:_ ~sender msg ->
+      match msg with
+      | Messages.Data _ when sender = topo.Topology.sink -> incr sink_data
+      | _ -> ());
+  Engine.run_until engine (Protocol.normal_start config +. 10.0);
+  Alcotest.(check int) "sink silent in data phase" 0 !sink_data
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let alive_reachable graph ~sink ~dead =
+  (* BFS over the subgraph of alive nodes. *)
+  let n = Graph.n graph in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  if not (List.mem sink dead) then begin
+    seen.(sink) <- true;
+    Queue.add sink queue
+  end;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun v ->
+        if (not seen.(v)) && not (List.mem v dead) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      (Graph.neighbours graph u)
+  done;
+  seen
+
+let test_setup_survives_early_failures () =
+  (* Crash three nodes just after Phase 1 starts; every surviving node still
+     reachable from the sink must end up with a slot (the dissemination
+     routes around the dead nodes). *)
+  let topo = Topology.grid 7 in
+  let g = topo.Topology.graph in
+  let dead = [ 10; 23; 38 ] in
+  let config = make_config ~seed:4 topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 4)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.schedule engine
+    ~at:(Protocol.das_start config +. 1.0)
+    (fun e -> List.iter (Engine.fail_node e) dead);
+  Engine.run_until engine (Protocol.normal_start config);
+  let reachable = alive_reachable g ~sink:topo.Topology.sink ~dead in
+  for v = 0 to Graph.n g - 1 do
+    if reachable.(v) && v <> topo.Topology.sink then begin
+      let st = Engine.node_state engine v in
+      Alcotest.(check bool)
+        (Printf.sprintf "alive node %d got a slot" v)
+        true
+        (st.Protocol.slot <> None)
+    end
+  done
+
+let test_setup_survives_corner_cut () =
+  (* Cut off a corner entirely: its only two neighbours die.  The rest of
+     the network must still converge; the cut-off corner must not. *)
+  let topo = Topology.grid 5 in
+  let dead = [ 1; 5 ] (* neighbours of corner 0 *) in
+  let config = make_config ~seed:6 topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 6)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.schedule engine
+    ~at:(Protocol.das_start config +. 0.6)
+    (fun e -> List.iter (Engine.fail_node e) dead);
+  Engine.run_until engine (Protocol.normal_start config);
+  let corner = Engine.node_state engine 0 in
+  (* The corner may have been assigned in the very first round before the
+     cut; what matters is that every other alive node converged. *)
+  ignore corner;
+  let reachable = alive_reachable topo.Topology.graph ~sink:topo.Topology.sink ~dead in
+  for v = 0 to Graph.n topo.Topology.graph - 1 do
+    if reachable.(v) && v <> topo.Topology.sink then
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d assigned" v)
+        true
+        ((Engine.node_state engine v).Protocol.slot <> None)
+  done
+
+let test_setup_survives_interference () =
+  (* With transmission airtime modelled, the jittered dissemination still
+     converges to a complete strong DAS, and the collision-free TDMA keeps
+     the normal phase loss-free: every reading arrives in its generation
+     period. *)
+  let topo = Topology.grid 5 in
+  let delta_ss = Topology.source_sink_distance topo in
+  let config =
+    Slpdas_exp.Params.protocol_config ~data_sources:[ topo.Topology.source ]
+      Slpdas_exp.Params.default ~mode:Protocol.Protectionless
+      ~sink:topo.Topology.sink ~delta_ss ~seed:8
+  in
+  let engine =
+    Engine.create ~airtime:0.002 ~topology:topo ~link:Link_model.Ideal
+      ~rng:(Rng.create 8)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine
+    (Protocol.normal_start config +. (4.5 *. Protocol.period_length config));
+  let schedule =
+    Protocol.extract_schedule ~n:(Graph.n topo.Topology.graph) config (fun v ->
+        Engine.node_state engine v)
+  in
+  Alcotest.(check bool) "complete under interference" true
+    (Schedule.complete schedule);
+  Alcotest.(check bool) "strong DAS" true
+    (Das_check.is_strong topo.Topology.graph schedule);
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  let delivered = sink_state.Protocol.delivered in
+  Alcotest.(check bool) "readings flowed" true (List.length delivered >= 4);
+  List.iter
+    (fun (_, generation, arrival) ->
+      Alcotest.(check int) "same-period delivery despite airtime" generation
+        arrival)
+    delivered
+
+(* ------------------------------------------------------------------ *)
+(* Convergecast aggregation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_data ?(mode = Protocol.Protectionless) ?(seed = 3) ?(periods = 5.0)
+    topo =
+  let delta_ss = Topology.source_sink_distance topo in
+  let config =
+    Slpdas_exp.Params.protocol_config ~data_sources:[ topo.Topology.source ]
+      Slpdas_exp.Params.default ~mode ~sink:topo.Topology.sink ~delta_ss ~seed
+  in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal
+      ~rng:(Rng.create (seed + 7))
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine
+    (Protocol.normal_start config +. (periods *. Protocol.period_length config));
+  (config, engine)
+
+let test_aggregation_strong_das_same_period () =
+  (* In a strong DAS every reading reaches the sink in the period it was
+     generated: children transmit before parents, so the wave completes
+     within one TDMA period. *)
+  let topo = Topology.grid 7 in
+  let _config, engine = run_with_data topo in
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  let delivered = sink_state.Protocol.delivered in
+  Alcotest.(check bool) "readings were delivered" true (delivered <> []);
+  List.iter
+    (fun (origin, generation, arrival) ->
+      Alcotest.(check int) "origin is the source" topo.Topology.source origin;
+      Alcotest.(check int)
+        (Printf.sprintf "reading of period %d arrives same period" generation)
+        generation arrival)
+    delivered
+
+let test_aggregation_delivers_every_period () =
+  let topo = Topology.grid 7 in
+  let _config, engine = run_with_data ~periods:6.5 topo in
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  let generations =
+    List.sort_uniq compare
+      (List.map (fun (_, g, _) -> g) sink_state.Protocol.delivered)
+  in
+  (* Periods 0..5 completed; all six readings should be in. *)
+  Alcotest.(check (list int)) "one reading per completed period"
+    [ 0; 1; 2; 3; 4; 5 ] generations
+
+let test_aggregation_slp_mode_still_delivers () =
+  (* Phase 3 breaks the strong ordering on the decoy path, but weak DAS
+     still guarantees progress: every reading eventually arrives, possibly
+     with latency. *)
+  let topo = Topology.grid 7 in
+  let _config, engine =
+    run_with_data ~mode:Protocol.Slp ~periods:10.0 ~seed:5 topo
+  in
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  let delivered = sink_state.Protocol.delivered in
+  Alcotest.(check bool) "readings delivered under SLP" true
+    (List.length delivered >= 8);
+  List.iter
+    (fun (_, generation, arrival) ->
+      Alcotest.(check bool) "arrival not before generation" true
+        (arrival >= generation))
+    delivered
+
+let test_aggregation_non_source_nodes_quiet () =
+  (* Without any data source configured, Data messages are empty beacons and
+     nothing accumulates at the sink. *)
+  let topo = Topology.grid 5 in
+  let config =
+    Slpdas_exp.Params.protocol_config Slpdas_exp.Params.default
+      ~mode:Protocol.Protectionless ~sink:topo.Topology.sink ~delta_ss:4 ~seed:2
+  in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 2)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine (Protocol.normal_start config +. 12.0);
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  Alcotest.(check int) "nothing delivered" 0
+    (List.length sink_state.Protocol.delivered)
+
+let test_aggregation_multiple_sources () =
+  let topo = Topology.grid 5 in
+  let sources = [ 0; 4; 24 ] in
+  let config =
+    Slpdas_exp.Params.protocol_config ~data_sources:sources
+      Slpdas_exp.Params.default ~mode:Protocol.Protectionless
+      ~sink:topo.Topology.sink ~delta_ss:4 ~seed:2
+  in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 2)
+      ~program:(Protocol.program config) ()
+  in
+  Engine.run_until engine
+    (Protocol.normal_start config +. (3.5 *. Protocol.period_length config));
+  let sink_state = Engine.node_state engine topo.Topology.sink in
+  let origins =
+    List.sort_uniq compare
+      (List.map (fun (o, _, _) -> o) sink_state.Protocol.delivered)
+  in
+  Alcotest.(check (list int)) "all three sources heard" sources origins
+
+let test_reliable_convergecast_recovers_losses () =
+  (* Snoop-acknowledged retries recover readings that unacknowledged
+     convergecast loses on a 15%-lossy channel. *)
+  let topo = Topology.grid 7 in
+  let deliveries ~reliable_data =
+    let delta_ss = Topology.source_sink_distance topo in
+    let config =
+      Slpdas_exp.Params.protocol_config ~data_sources:[ topo.Topology.source ]
+        ~reliable_data Slpdas_exp.Params.default ~mode:Protocol.Protectionless
+        ~sink:topo.Topology.sink ~delta_ss ~seed:6
+    in
+    let engine =
+      Engine.create ~topology:topo ~link:(Link_model.Lossy 0.15)
+        ~rng:(Rng.create 6)
+        ~program:(Protocol.program config) ()
+    in
+    Engine.run_until engine
+      (Protocol.normal_start config +. (12.0 *. Protocol.period_length config));
+    let sink_state = Engine.node_state engine topo.Topology.sink in
+    sink_state.Protocol.delivered
+  in
+  let plain = deliveries ~reliable_data:false in
+  let reliable = deliveries ~reliable_data:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "retries recover readings (%d vs %d)" (List.length reliable)
+       (List.length plain))
+    true
+    (List.length reliable > List.length plain);
+  (* No duplicates despite retransmissions. *)
+  let keys = List.map (fun (o, g, _) -> (o, g)) reliable in
+  Alcotest.(check int) "sink deduplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_reliable_mode_no_loss_identical () =
+  (* On an ideal channel the reliable machinery changes nothing. *)
+  let topo = Topology.grid 5 in
+  let delivered ~reliable_data =
+    let config =
+      Slpdas_exp.Params.protocol_config ~data_sources:[ topo.Topology.source ]
+        ~reliable_data Slpdas_exp.Params.default ~mode:Protocol.Protectionless
+        ~sink:topo.Topology.sink ~delta_ss:4 ~seed:3
+    in
+    let engine =
+      Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 3)
+        ~program:(Protocol.program config) ()
+    in
+    Engine.run_until engine
+      (Protocol.normal_start config +. (5.5 *. Protocol.period_length config));
+    (Engine.node_state engine topo.Topology.sink).Protocol.delivered
+  in
+  Alcotest.(check int) "same deliveries"
+    (List.length (delivered ~reliable_data:false))
+    (List.length (delivered ~reliable_data:true))
+
+(* ------------------------------------------------------------------ *)
+(* Message descriptions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_message_describe () =
+  Alcotest.(check string) "hello" "hello" (Messages.describe Messages.Hello);
+  Alcotest.(check string) "dissem" "dissem"
+    (Messages.describe (Messages.Dissem { normal = true; info = []; parent = None }));
+  Alcotest.(check string) "update" "dissem-update"
+    (Messages.describe (Messages.Dissem { normal = false; info = []; parent = None }));
+  Alcotest.(check string) "search" "search"
+    (Messages.describe (Messages.Search { target = 1; ttl = 2 }));
+  Alcotest.(check string) "change" "change"
+    (Messages.describe (Messages.Change { target = 1; base_slot = 5; ttl = 0 }));
+  Alcotest.(check string) "data" "data"
+    (Messages.describe (Messages.Data { origin = 0; seq = 1; readings = [] }))
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "timing",
+        [ Alcotest.test_case "constants" `Quick test_timing_constants ] );
+      ( "neighbour-discovery",
+        [ Alcotest.test_case "full discovery" `Quick test_neighbour_discovery ] );
+      ( "phase1",
+        [
+          Alcotest.test_case "converges to strong DAS" `Quick
+            test_phase1_converges_to_strong_das;
+          Alcotest.test_case "strong across seeds" `Slow test_phase1_many_seeds_strong;
+          Alcotest.test_case "hop counts" `Quick test_phase1_hop_counts_correct;
+          Alcotest.test_case "parents consistent" `Quick test_phase1_parents_consistent;
+          Alcotest.test_case "children match parents" `Quick
+            test_phase1_children_match_parents;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_phase1_deterministic_per_seed;
+          Alcotest.test_case "message budget" `Quick test_phase1_message_budget;
+          Alcotest.test_case "survives lossy links" `Slow
+            test_phase1_survives_lossy_links;
+        ] );
+      ( "phases2-3",
+        [
+          Alcotest.test_case "weak DAS preserved" `Slow test_slp_mode_produces_weak_das;
+          Alcotest.test_case "refinement changes slots" `Quick
+            test_slp_mode_changes_schedule;
+          Alcotest.test_case "decoy minimum exists" `Slow test_slp_mode_has_decoy_minimum;
+          Alcotest.test_case "no interior minimum unrefined" `Slow
+            test_protectionless_has_no_interior_minimum;
+          Alcotest.test_case "overhead negligible" `Quick
+            test_slp_message_overhead_is_small;
+        ] );
+      ( "normal-phase",
+        [
+          Alcotest.test_case "slot-aligned transmissions" `Quick
+            test_normal_phase_transmissions_follow_slots;
+          Alcotest.test_case "sink silent" `Quick test_sink_never_transmits_data;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "survives early failures" `Slow
+            test_setup_survives_early_failures;
+          Alcotest.test_case "survives corner cut" `Quick
+            test_setup_survives_corner_cut;
+          Alcotest.test_case "survives interference" `Quick
+            test_setup_survives_interference;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "strong DAS: same-period delivery" `Quick
+            test_aggregation_strong_das_same_period;
+          Alcotest.test_case "every period delivered" `Quick
+            test_aggregation_delivers_every_period;
+          Alcotest.test_case "SLP mode still delivers" `Quick
+            test_aggregation_slp_mode_still_delivers;
+          Alcotest.test_case "no sources, no data" `Quick
+            test_aggregation_non_source_nodes_quiet;
+          Alcotest.test_case "multiple sources" `Quick
+            test_aggregation_multiple_sources;
+          Alcotest.test_case "reliable mode recovers losses" `Slow
+            test_reliable_convergecast_recovers_losses;
+          Alcotest.test_case "reliable mode neutral on ideal links" `Quick
+            test_reliable_mode_no_loss_identical;
+        ] );
+      ( "messages",
+        [ Alcotest.test_case "describe" `Quick test_message_describe ] );
+    ]

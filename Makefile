@@ -1,0 +1,22 @@
+# Convenience wrappers around dune; see README.md "Reproducing the paper".
+
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full harness: every table/figure of the paper plus ablations (minutes).
+bench:
+	dune exec bench/main.exe
+
+# Seconds-scale end-to-end pass: centralized path, tiny ensembles.  Useful
+# as a smoke test that the whole pipeline (tables, CSV mirrors,
+# BENCH_micro.json) still runs.
+bench-smoke:
+	BENCH_FAST=1 BENCH_RUNS=2 dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -19,7 +19,14 @@
      BENCH_RUNS      base number of seeded DES runs per configuration
                      (default 24; larger grids use proportionally fewer);
      BENCH_FAST=1    skip the discrete-event runs and use the centralized
-                     construction + Algorithm 1 everywhere (seconds). *)
+                     construction + Algorithm 1 everywhere (seconds);
+     BENCH_DOMAINS   worker domains for the seeded-run grids (default: the
+                     hardware's recommended count).  Every run is
+                     seed-parameterised and results aggregate in seed
+                     order, so tables on stdout are byte-identical for any
+                     value; BENCH_DOMAINS=1 is the sequential behaviour.
+                     Wall-clock diagnostics go to stderr, keeping stdout
+                     deterministic. *)
 
 let getenv_int name ~default =
   match Sys.getenv_opt name with
@@ -29,6 +36,19 @@ let getenv_int name ~default =
 let fast_mode = Sys.getenv_opt "BENCH_FAST" = Some "1"
 
 let base_runs = getenv_int "BENCH_RUNS" ~default:24
+
+let domains =
+  max 1 (getenv_int "BENCH_DOMAINS" ~default:(Slpdas_util.Pool.recommended ()))
+
+(* Time a section and report the wall clock on stderr (stdout must stay
+   byte-identical across BENCH_DOMAINS values). *)
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  Printf.eprintf "[%s] wall clock %.2f s (BENCH_DOMAINS=%d)\n%!" name
+    (Unix.gettimeofday () -. t0)
+    domains;
+  v
 
 let attacker ~start = Slpdas_core.Attacker.canonical ~start
 
@@ -77,15 +97,16 @@ let dims_and_runs () =
 let capture_summary ~topology ~mode ~params ~runs =
   if fast_mode then
     let seeds = Slpdas_exp.Capture.seeds ~base:1000 ~runs:(max runs 200) in
-    Slpdas_exp.Capture.centralized ~topology ~mode ~params ~attacker ~seeds
+    Slpdas_exp.Capture.centralized ~domains ~topology ~mode ~params ~attacker
+      ~seeds ()
   else
     let seeds = Slpdas_exp.Capture.seeds ~base:1000 ~runs in
-    Slpdas_exp.Capture.simulated ~topology ~mode ~params
-      ~link:Slpdas_sim.Link_model.Ideal ~attacker ~seeds
+    Slpdas_exp.Capture.simulated ~domains ~topology ~mode ~params
+      ~link:Slpdas_sim.Link_model.Ideal ~attacker ~seeds ()
 
 let centralized_summary ~topology ~mode ~params =
-  Slpdas_exp.Capture.centralized ~topology ~mode ~params ~attacker
-    ~seeds:(Slpdas_exp.Capture.seeds ~base:1000 ~runs:200)
+  Slpdas_exp.Capture.centralized ~domains ~topology ~mode ~params ~attacker
+    ~seeds:(Slpdas_exp.Capture.seeds ~base:1000 ~runs:200) ()
 
 let figure5 ~sd ~label =
   section
@@ -214,21 +235,26 @@ let related_work () =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      for seed = 1000 to 1000 + runs - 1 do
-        let r =
-          Slpdas_exp.Phantom_runner.run
-            { topology; walk_length; link = Slpdas_sim.Link_model.Ideal; seed }
-        in
-        if r.Slpdas_exp.Phantom_runner.captured then begin
-          incr captures;
-          match r.Slpdas_exp.Phantom_runner.capture_seconds with
-          | Some t -> times := t :: !times
-          | None -> ()
-        end;
-        msgs := !msgs + r.Slpdas_exp.Phantom_runner.messages_sent;
-        delivered := !delivered + r.Slpdas_exp.Phantom_runner.delivered;
-        safety := r.Slpdas_exp.Phantom_runner.safety_seconds
-      done;
+      Slpdas_exp.Phantom_runner.run_many ~domains
+        (List.map
+           (fun seed ->
+             {
+               Slpdas_exp.Phantom_runner.topology;
+               walk_length;
+               link = Slpdas_sim.Link_model.Ideal;
+               seed;
+             })
+           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      |> List.iter (fun r ->
+             if r.Slpdas_exp.Phantom_runner.captured then begin
+               incr captures;
+               match r.Slpdas_exp.Phantom_runner.capture_seconds with
+               | Some t -> times := t :: !times
+               | None -> ()
+             end;
+             msgs := !msgs + r.Slpdas_exp.Phantom_runner.messages_sent;
+             delivered := !delivered + r.Slpdas_exp.Phantom_runner.delivered;
+             safety := r.Slpdas_exp.Phantom_runner.safety_seconds);
       [
         name;
         Printf.sprintf "%.0f%%" (100. *. float_of_int !captures /. float_of_int runs);
@@ -241,22 +267,25 @@ let related_work () =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      for seed = 1000 to 1000 + runs - 1 do
-        let r =
-          Slpdas_exp.Runner.run
-            (Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
-        in
-        if r.Slpdas_exp.Runner.captured then begin
-          incr captures;
-          match r.Slpdas_exp.Runner.capture_seconds with
-          | Some t -> times := t :: !times
-          | None -> ()
-        end;
-        (* Normal-phase traffic only: setup is a one-off cost. *)
-        msgs := !msgs + (r.Slpdas_exp.Runner.total_messages - r.Slpdas_exp.Runner.setup_messages);
-        delivered := !delivered + List.length r.Slpdas_exp.Runner.delivered_readings;
-        safety := r.Slpdas_exp.Runner.safety_seconds
-      done;
+      Slpdas_exp.Runner.run_many ~domains
+        (List.map
+           (fun seed -> Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
+           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      |> List.iter (fun r ->
+             if r.Slpdas_exp.Runner.captured then begin
+               incr captures;
+               match r.Slpdas_exp.Runner.capture_seconds with
+               | Some t -> times := t :: !times
+               | None -> ()
+             end;
+             (* Normal-phase traffic only: setup is a one-off cost. *)
+             msgs :=
+               !msgs
+               + (r.Slpdas_exp.Runner.total_messages
+                 - r.Slpdas_exp.Runner.setup_messages);
+             delivered :=
+               !delivered + List.length r.Slpdas_exp.Runner.delivered_readings;
+             safety := r.Slpdas_exp.Runner.safety_seconds);
       [
         name;
         Printf.sprintf "%.0f%%" (100. *. float_of_int !captures /. float_of_int runs);
@@ -270,27 +299,27 @@ let related_work () =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      for seed = 1000 to 1000 + runs - 1 do
-        let r =
-          Slpdas_exp.Fake_runner.run
-            {
-              topology;
-              fake_sources = corners;
-              fake_rate_multiplier = rate;
-              link = Slpdas_sim.Link_model.Ideal;
-              seed;
-            }
-        in
-        if r.Slpdas_exp.Fake_runner.captured then begin
-          incr captures;
-          match r.Slpdas_exp.Fake_runner.capture_seconds with
-          | Some t -> times := t :: !times
-          | None -> ()
-        end;
-        msgs := !msgs + r.Slpdas_exp.Fake_runner.messages_sent;
-        delivered := !delivered + r.Slpdas_exp.Fake_runner.real_delivered;
-        safety := r.Slpdas_exp.Fake_runner.safety_seconds
-      done;
+      Slpdas_exp.Fake_runner.run_many ~domains
+        (List.map
+           (fun seed ->
+             {
+               Slpdas_exp.Fake_runner.topology;
+               fake_sources = corners;
+               fake_rate_multiplier = rate;
+               link = Slpdas_sim.Link_model.Ideal;
+               seed;
+             })
+           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      |> List.iter (fun r ->
+             if r.Slpdas_exp.Fake_runner.captured then begin
+               incr captures;
+               match r.Slpdas_exp.Fake_runner.capture_seconds with
+               | Some t -> times := t :: !times
+               | None -> ()
+             end;
+             msgs := !msgs + r.Slpdas_exp.Fake_runner.messages_sent;
+             delivered := !delivered + r.Slpdas_exp.Fake_runner.real_delivered;
+             safety := r.Slpdas_exp.Fake_runner.safety_seconds);
       [
         name;
         Printf.sprintf "%.0f%%" (100. *. float_of_int !captures /. float_of_int runs);
@@ -338,16 +367,16 @@ let service_quality () =
       List.map
         (fun (name, mode) ->
           let ratios = ref [] and latencies = ref [] in
-          for seed = 0 to runs - 1 do
-            let r =
-              Slpdas_exp.Runner.run
-                (Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
-            in
-            ratios := r.Slpdas_exp.Runner.delivery_ratio :: !ratios;
-            match r.Slpdas_exp.Runner.mean_latency_periods with
-            | Some l -> latencies := l :: !latencies
-            | None -> ()
-          done;
+          Slpdas_exp.Runner.run_many ~domains
+            (List.map
+               (fun seed ->
+                 Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
+               (Slpdas_exp.Capture.seeds ~base:0 ~runs))
+          |> List.iter (fun r ->
+                 ratios := r.Slpdas_exp.Runner.delivery_ratio :: !ratios;
+                 match r.Slpdas_exp.Runner.mean_latency_periods with
+                 | Some l -> latencies := l :: !latencies
+                 | None -> ());
           [
             name;
             Printf.sprintf "%.1f%%" (100. *. Slpdas_util.Stats.mean !ratios);
@@ -472,8 +501,10 @@ let ablation_attacker () =
     List.map
       (fun (name, make) ->
         let summary mode =
-          Slpdas_exp.Capture.centralized ~topology ~mode ~params ~attacker:make
+          Slpdas_exp.Capture.centralized ~domains ~topology ~mode ~params
+            ~attacker:make
             ~seeds:(Slpdas_exp.Capture.seeds ~base:1000 ~runs:200)
+            ()
         in
         let pct = Slpdas_exp.Capture.ratio_percent in
         [
@@ -703,6 +734,38 @@ let micro () =
       grid11.Slpdas_wsn.Topology.graph ~sink:grid11.Slpdas_wsn.Topology.sink
   in
   let counter = ref 0 in
+  (* Packed fast path vs the pre-optimization reference on the same
+     verification problems.  The canonical (1,0,1) attacker explores a
+     handful of states, so its verify-* pair mostly measures per-call
+     overhead; the (2,4,2) history-avoiding pair is the state-space shape
+     §IV-B worries about and where the packed encoding pays. *)
+  let history_attacker =
+    Slpdas_core.Attacker.make
+      ~decide:Slpdas_core.Attacker.lowest_slot_avoiding_history
+      ~decide_name:"history-avoiding" ~r:2 ~h:4 ~m:2
+      ~start:grid11.Slpdas_wsn.Topology.sink ()
+  in
+  (* A nondeterministic D whose candidate sets branch: the search explores
+     hundreds of states instead of one per trace step. *)
+  let branching_attacker =
+    let decide ~heard ~history ~current =
+      List.filter_map
+        (fun hd ->
+          let l = hd.Slpdas_core.Attacker.location in
+          if l = current || List.mem l history then None else Some l)
+        heard
+    in
+    Slpdas_core.Attacker.make ~decide ~decide_name:"branching" ~r:3 ~h:4 ~m:2
+      ~start:grid11.Slpdas_wsn.Topology.sink ()
+  in
+  let verify_test ~name ~attacker verify =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (verify grid11.Slpdas_wsn.Topology.graph
+                das11.Slpdas_core.Das_build.schedule ~attacker ~safety_period:17
+                ~source:0)))
+  in
   let tests =
     Test.make_grouped ~name:"slp-das"
       [
@@ -714,15 +777,25 @@ let micro () =
                     ~rng:(Slpdas_util.Rng.create !counter)
                     grid11.Slpdas_wsn.Topology.graph
                     ~sink:grid11.Slpdas_wsn.Topology.sink)));
-        Test.make ~name:"verify-schedule-11x11"
-          (Staged.stage (fun () ->
-               ignore
-                 (Slpdas_core.Verifier.verify grid11.Slpdas_wsn.Topology.graph
-                    das11.Slpdas_core.Das_build.schedule
-                    ~attacker:
-                      (Slpdas_core.Attacker.canonical
-                         ~start:grid11.Slpdas_wsn.Topology.sink)
-                    ~safety_period:17 ~source:0)));
+        verify_test ~name:"verify-schedule-11x11"
+          ~attacker:
+            (Slpdas_core.Attacker.canonical
+               ~start:grid11.Slpdas_wsn.Topology.sink)
+          Slpdas_core.Verifier.verify_with_stats;
+        verify_test ~name:"verify-schedule-ref-11x11"
+          ~attacker:
+            (Slpdas_core.Attacker.canonical
+               ~start:grid11.Slpdas_wsn.Topology.sink)
+          Slpdas_core.Verifier.verify_with_stats_reference;
+        verify_test ~name:"verify-h4-11x11" ~attacker:history_attacker
+          Slpdas_core.Verifier.verify_with_stats;
+        verify_test ~name:"verify-h4-ref-11x11" ~attacker:history_attacker
+          Slpdas_core.Verifier.verify_with_stats_reference;
+        verify_test ~name:"verify-branching-11x11" ~attacker:branching_attacker
+          Slpdas_core.Verifier.verify_with_stats;
+        verify_test ~name:"verify-branching-ref-11x11"
+          ~attacker:branching_attacker
+          Slpdas_core.Verifier.verify_with_stats_reference;
         Test.make ~name:"slp-refine-11x11"
           (Staged.stage (fun () ->
                incr counter;
@@ -765,19 +838,51 @@ let micro () =
   let merged = Analyze.merge ols instances results in
   Hashtbl.iter
     (fun _instance per_test ->
-      let rows =
+      let estimates =
         Hashtbl.fold
           (fun name ols_result acc ->
             let value =
               match Analyze.OLS.estimates ols_result with
-              | Some (v :: _) -> Printf.sprintf "%.0f ns" v
-              | _ -> "n/a"
+              | Some (v :: _) -> Some v
+              | _ -> None
             in
-            [ name; value ] :: acc)
+            (name, value) :: acc)
           per_test []
         |> List.sort compare
       in
-      emit ~name:"micro" ~header:[ "benchmark"; "time/run" ] rows)
+      let rows =
+        List.map
+          (fun (name, value) ->
+            [
+              name;
+              (match value with
+              | Some v -> Printf.sprintf "%.0f ns" v
+              | None -> "n/a");
+            ])
+          estimates
+      in
+      emit ~name:"micro" ~header:[ "benchmark"; "time/run" ] rows;
+      (* Machine-readable mirror so future changes can track the perf
+         trajectory without parsing the table. *)
+      (try
+         if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+       with Sys_error _ -> ());
+      try
+        let oc =
+          open_out (Filename.concat results_dir "BENCH_micro.json")
+        in
+        output_string oc "{\n  \"unit\": \"ns/run\",\n  \"benchmarks\": [\n";
+        List.iteri
+          (fun i (name, value) ->
+            Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+              (match value with
+              | Some v -> Printf.sprintf "%.1f" v
+              | None -> "null")
+              (if i = List.length estimates - 1 then "" else ","))
+          estimates;
+        output_string oc "  ]\n}\n";
+        close_out oc
+      with Sys_error _ -> ())
     merged
 
 let () =
@@ -786,11 +891,11 @@ let () =
     (if fast_mode then "fast/centralized" else "full discrete-event")
     base_runs;
   table1 ();
-  figure5 ~sd:3 ~label:"a";
-  figure5 ~sd:5 ~label:"b";
-  overhead ();
-  related_work ();
-  service_quality ();
+  timed "figure5a" (fun () -> figure5 ~sd:3 ~label:"a");
+  timed "figure5b" (fun () -> figure5 ~sd:5 ~label:"b");
+  timed "overhead" overhead;
+  timed "related_work" related_work;
+  timed "service_quality" service_quality;
   energy ();
   ablation_gap ();
   ablation_attacker ();

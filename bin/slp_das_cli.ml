@@ -394,10 +394,11 @@ let experiment_cmd =
     let attacker ~start = Slpdas_core.Attacker.canonical ~start in
     let summary mode =
       if fast then
-        Slpdas_exp.Capture.centralized ~topology:topo ~mode ~params ~attacker ~seeds
+        Slpdas_exp.Capture.centralized ~topology:topo ~mode ~params ~attacker
+          ~seeds ()
       else
         Slpdas_exp.Capture.simulated ~topology:topo ~mode ~params
-          ~link:Slpdas_sim.Link_model.Ideal ~attacker ~seeds
+          ~link:Slpdas_sim.Link_model.Ideal ~attacker ~seeds ()
     in
     let prot = summary Slpdas_core.Protocol.Protectionless in
     let slp = summary Slpdas_core.Protocol.Slp in

@@ -53,16 +53,47 @@ let make ?(decide = lowest_slot) ?(decide_name = "lowest-slot") ~r ~h ~m ~start
 
 let canonical ~start = make ~r:1 ~h:0 ~m:1 ~start ()
 
+(* [insert_capped r x kept] inserts [x] into [kept] (ascending by slot,
+   length <= r) keeping only the r smallest.  Strict [<] places ties after
+   existing entries, so insertion order breaks ties exactly as the stable
+   sort of the naive build-sort-truncate did. *)
+let rec insert_capped r x = function
+  | [] -> if r > 0 then [ x ] else []
+  | y :: tl ->
+    if r = 0 then []
+    else if x.slot < y.slot then x :: cap (r - 1) (y :: tl)
+    else y :: insert_capped (r - 1) x tl
+
+and cap r = function
+  | [] -> []
+  | y :: tl -> if r = 0 then [] else y :: cap (r - 1) tl
+
 let heard_by g sched ~at ~r =
-  let audible =
-    at :: Array.to_list (Slpdas_wsn.Graph.neighbours g at)
-    |> List.filter_map (fun v ->
-           match Schedule.slot sched v with
-           | Some slot -> Some { location = v; slot }
-           | None -> None)
+  (* The r earliest transmissions audible at [at]: itself plus its
+     neighbours, in slot order.  This sits on the verifier's hot path, so
+     the r smallest are selected directly rather than sorting the full
+     audible list. *)
+  let hear acc v =
+    match Schedule.slot sched v with
+    | Some slot -> insert_capped r { location = v; slot } acc
+    | None -> acc
   in
-  let by_slot = List.sort (fun a b -> compare a.slot b.slot) audible in
-  List.filteri (fun i _ -> i < r) by_slot
+  Array.fold_left hear (hear [] at) (Slpdas_wsn.Graph.neighbours g at)
+
+let hearing g sched ~r =
+  (* The audible list of a location depends only on (g, sched, r), yet the
+     verifier's state space revisits each location once per distinct
+     (period, moves, history) combination.  Memoise per location, lazily:
+     eager precomputation would dominate short searches (the deterministic
+     attackers visit a handful of locations on an 11x11 grid). *)
+  let cache = Array.make (Slpdas_wsn.Graph.n g) None in
+  fun at ->
+    match cache.(at) with
+    | Some heard -> heard
+    | None ->
+      let heard = heard_by g sched ~at ~r in
+      cache.(at) <- Some heard;
+      heard
 
 module State = struct
   type t = {

@@ -80,6 +80,15 @@ val heard_by :
     (the position's own node and its 1-hop neighbours), in slot order — the
     [1HopNsWithRLowestSlots] function of Algorithm 1. *)
 
+val hearing : Slpdas_wsn.Graph.t -> Schedule.t -> r:int -> int -> heard list
+(** [hearing g sched ~r] is {!heard_by} with the per-location audible list
+    computed at most once per [(g, sched, r)] instantiation: the returned
+    function memoises [heard_by g sched ~at ~r] by location.  The verifier's
+    hot loop expands many states per location (the history budget [H]
+    multiplies the state space), so rebuilding and re-sorting the audible
+    list per expansion is pure waste.  The memo is only valid while [sched]
+    is not mutated. *)
+
 (** Operational attacker state, advanced by the simulation harness. *)
 module State : sig
   type t

@@ -15,23 +15,28 @@ let protected_fraction t =
   if t.total_sources = 0 then 1.0
   else float_of_int t.protected_sources /. float_of_int t.total_sources
 
-let analyse ?(factor = 1.5) g sched ~attacker =
+let analyse ?(domains = 1) ?(factor = 1.5) g sched ~attacker =
   let sink = Schedule.sink sched in
   let dist = Slpdas_wsn.Graph.bfs_distances g sink in
+  let verdict_of source =
+    if source = sink || dist.(source) < 0 then None
+    else begin
+      let safety_period =
+        Safety.safety_periods ~factor ~delta_ss:dist.(source) ()
+      in
+      let outcome = Verifier.verify g sched ~attacker ~safety_period ~source in
+      Some { source; safety_period; outcome }
+    end
+  in
+  (* One decision procedure per candidate source, all independent: the
+     certification sweep fans out over a worker pool.  Results come back in
+     node order whatever the pool size, so verdict lists are identical for
+     every [domains] value. *)
   let verdicts =
-    List.filter_map
-      (fun source ->
-        if source = sink || dist.(source) < 0 then None
-        else begin
-          let safety_period =
-            Safety.safety_periods ~factor ~delta_ss:dist.(source) ()
-          in
-          let outcome =
-            Verifier.verify g sched ~attacker ~safety_period ~source
-          in
-          Some { source; safety_period; outcome }
-        end)
-      (List.init (Slpdas_wsn.Graph.n g) Fun.id)
+    Slpdas_util.Pool.with_pool ~domains (fun pool ->
+        Slpdas_util.Pool.map pool verdict_of
+          (List.init (Slpdas_wsn.Graph.n g) Fun.id))
+    |> List.filter_map Fun.id
   in
   let protected_sources =
     List.length

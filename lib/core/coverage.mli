@@ -29,6 +29,7 @@ type t = {
 val protected_fraction : t -> float
 
 val analyse :
+  ?domains:int ->
   ?factor:float ->
   Slpdas_wsn.Graph.t ->
   Schedule.t ->
@@ -36,7 +37,11 @@ val analyse :
   t
 (** [analyse g sched ~attacker] certifies every non-sink node reachable from
     the sink as a potential source.  [factor] is Cs (default 1.5).
-    Unreachable nodes are skipped (they can never be traced to anyway). *)
+    Unreachable nodes are skipped (they can never be traced to anyway).
+    [domains] fans the per-source verifications out over a
+    {!Slpdas_util.Pool} (default 1: sequential); each verification is
+    independent and deterministic, so the analysis is identical for every
+    [domains] value. *)
 
 val vulnerable : t -> int list
 (** Sources the attacker can capture within their safety period, ascending. *)

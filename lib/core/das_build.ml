@@ -246,7 +246,20 @@ let build_compact ?rng g ~sink =
           (fun m -> Schedule.slot schedule m)
           (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
       in
-      let rec first_free i = if List.mem i taken then first_free (i + 1) else i in
+      (* Bitset probe instead of List.mem per candidate slot: the two-hop
+         neighbourhood of a dense grid holds a dozen assigned slots, and the
+         linear scan per probe made this loop quadratic in it.  Capacity
+         covers every taken slot plus one past the largest, which is always
+         free. *)
+      let cap =
+        List.fold_left (fun acc s -> max acc (s + 2)) (lower_bound + 2) taken
+      in
+      let occupied = Slpdas_util.Bitset.create cap in
+      List.iter (fun s -> Slpdas_util.Bitset.add occupied s) taken;
+      let rec first_free i =
+        if i < cap && Slpdas_util.Bitset.mem occupied i then first_free (i + 1)
+        else i
+      in
       Schedule.assign schedule v (first_free lower_bound))
     order;
   { schedule; parent; hop }

@@ -13,11 +13,12 @@ let truncate n xs = List.filteri (fun i _ -> i < n) xs
 
 (* One attacker step from [loc]: candidate successors with updated period and
    move accounting.  Steps the (R, H, M) budget forbids are dropped, which is
-   the "trace discarded" branch of Algorithm 1. *)
-let successors g sched ~attacker ~loc ~period ~moves ~history =
-  let heard =
-    Attacker.heard_by g sched ~at:loc ~r:attacker.Attacker.r
-  in
+   the "trace discarded" branch of Algorithm 1.  [heard_at] supplies the
+   audible list — memoised per location on the fast paths, rebuilt per call
+   in the reference implementation. *)
+let successors_hearing g sched ~attacker ~heard_at ~loc ~period ~moves ~history
+    =
+  let heard = heard_at loc in
   let candidates = attacker.Attacker.decide ~heard ~history ~current:loc in
   List.filter_map
     (fun c ->
@@ -28,12 +29,27 @@ let successors g sched ~attacker ~loc ~period ~moves ~history =
       else Some (c, period, moves + 1))
     candidates
 
+let successors g sched ~attacker ~loc ~period ~moves ~history =
+  successors_hearing g sched ~attacker
+    ~heard_at:(fun at -> Attacker.heard_by g sched ~at ~r:attacker.Attacker.r)
+    ~loc ~period ~moves ~history
+
 let check_args g ~safety_period ~source =
   if safety_period < 0 then invalid_arg "Verifier: negative safety period";
   if source < 0 || source >= Slpdas_wsn.Graph.n g then
     invalid_arg "Verifier: source out of range"
 
-let verify_with_stats g sched ~attacker ~safety_period ~source =
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The original, unoptimized search: audible lists rebuilt and re-sorted per
+   expansion, visited states keyed by the polymorphic
+   [(loc, period, moves, history)] tuple.  Kept as the differential-testing
+   oracle for the packed fast path below, as the "before" series of the
+   bench's micro section, and as the fallback for attacker budgets whose
+   packed state does not fit two words. *)
+let verify_with_stats_reference g sched ~attacker ~safety_period ~source =
   check_args g ~safety_period ~source;
   let visited = Hashtbl.create 1024 in
   let exception Found of int list * int in
@@ -62,6 +78,139 @@ let verify_with_stats g sched ~attacker ~safety_period ~source =
   | exception Found (trace, periods) ->
     (Captured { trace; periods }, Hashtbl.length visited)
 
+(* ------------------------------------------------------------------ *)
+(* Packed-state fast path                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* An attacker state is (loc, period, moves, history) with every component a
+   small bounded integer: loc < n, period <= safety period, moves <= M, and
+   the history a sequence of at most H locations.  The whole state therefore
+   packs into a few machine words, which replaces the polymorphic hash (a
+   full traversal of the tuple and list per probe) with integer hashing.
+
+   Layout: [base] packs (loc, period, moves); [hist] packs the history as H
+   fields of [bits_loc] bits, most recent in the low bits, empty slots 0
+   (locations are stored as [v + 1]).  Pushing a location onto the history is
+   then one shift-or-mask — no list truncation on the key path.  When
+   [hist] and [base] fit one word together the visited set is an int-keyed
+   table; otherwise an (int * int)-keyed one.  Budgets too large even for
+   that (H * bits_loc > 62) fall back to the reference implementation. *)
+
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  (* The packed key's low bits (period, moves, location) are exactly the
+     fast-varying components, so the identity is a good hash and skips the
+     generic mixing on every probe. *)
+  let hash x = x land max_int
+end)
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (b + (a * 0x1000193)) land max_int
+end)
+
+(* Smallest [b >= 1] with [v < 2^b]. *)
+let bits_for v =
+  let rec go b = if v < 1 lsl b then b else go (b + 1) in
+  go 1
+
+type packing = { bits_loc : int; hist_mask : int (* 0 when H = 0 *) }
+
+(* [take n tl hd] is [hd :: tl] cut to [n + 1] elements: the history push
+   without [truncate]'s closure and full-list traversal. *)
+let rec take n xs hd =
+  hd
+  :: (match xs with x :: tl when n > 0 -> take (n - 1) tl x | _ -> [])
+
+(* A visited set keyed by the packed state; [None] when the state does not
+   fit two words. *)
+let packed_visited ~n ~safety_period ~attacker =
+  let h = attacker.Attacker.h in
+  let bits_loc = bits_for n in
+  let bits_p = bits_for safety_period in
+  let bits_m = bits_for attacker.Attacker.m in
+  let bits_hist = bits_loc * h in
+  let bits_base = bits_loc + bits_p + bits_m in
+  if bits_hist > 62 || bits_base > 62 then None
+  else begin
+    let base ~loc ~period ~moves =
+      (((loc lsl bits_p) lor period) lsl bits_m) lor moves
+    in
+    let packing =
+      { bits_loc; hist_mask = (if h = 0 then 0 else (1 lsl bits_hist) - 1) }
+    in
+    (* Small initial capacity: deterministic attackers explore a handful of
+       states and the table init is a measurable share of a short verify;
+       branching searches grow the table as needed. *)
+    let mem_add, length =
+      if bits_hist + bits_base <= 62 then begin
+        let tbl = Int_tbl.create 64 in
+        ( (fun ~loc ~period ~moves ~hist ->
+            let key = (hist lsl bits_base) lor base ~loc ~period ~moves in
+            Int_tbl.mem tbl key
+            || begin
+                 Int_tbl.add tbl key ();
+                 false
+               end),
+          fun () -> Int_tbl.length tbl )
+      end
+      else begin
+        let tbl = Pair_tbl.create 64 in
+        ( (fun ~loc ~period ~moves ~hist ->
+            let key = (hist, base ~loc ~period ~moves) in
+            Pair_tbl.mem tbl key
+            || begin
+                 Pair_tbl.add tbl key ();
+                 false
+               end),
+          fun () -> Pair_tbl.length tbl )
+      end
+    in
+    Some (packing, mem_add, length)
+  end
+
+let verify_with_stats g sched ~attacker ~safety_period ~source =
+  check_args g ~safety_period ~source;
+  match
+    packed_visited ~n:(Slpdas_wsn.Graph.n g) ~safety_period ~attacker
+  with
+  | None -> verify_with_stats_reference g sched ~attacker ~safety_period ~source
+  | Some (packing, mem_add, visited_count) ->
+    let h = attacker.Attacker.h in
+    let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
+    let exception Found of int list * int in
+    (* [hist] mirrors [history] in packed form; both are threaded because
+       the decision function consumes the list while the visited set keys on
+       the integer. *)
+    let rec explore loc period moves history hist trace_rev =
+      if period > safety_period || mem_add ~loc ~period ~moves ~hist then ()
+      else
+        List.iter
+          (fun (c, period', moves') ->
+            if c = source && period' <= safety_period then
+              raise (Found (List.rev (c :: trace_rev), period'));
+            let history', hist' =
+              if h > 0 then
+                ( take (h - 1) history loc,
+                  ((hist lsl packing.bits_loc) lor (loc + 1))
+                  land packing.hist_mask )
+              else (history, 0)
+            in
+            explore c period' moves' history' hist' (c :: trace_rev))
+          (successors_hearing g sched ~attacker ~heard_at ~loc ~period ~moves
+             ~history)
+    in
+    let start = attacker.Attacker.start in
+    (match explore start 0 0 [] 0 [ start ] with
+    | () -> (Safe, visited_count ())
+    | exception Found (trace, periods) ->
+      (Captured { trace; periods }, visited_count ()))
+
 let verify g sched ~attacker ~safety_period ~source =
   fst (verify_with_stats g sched ~attacker ~safety_period ~source)
 
@@ -71,6 +220,7 @@ let is_slp_aware g sched ~attacker ~safety_period ~source =
 let attacker_traces g sched ~attacker ~safety_period ~max_traces =
   if safety_period < 0 then invalid_arg "Verifier: negative safety period";
   if max_traces <= 0 then invalid_arg "Verifier.attacker_traces: max_traces";
+  let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
   let traces = ref [] in
   let count = ref 0 in
   let emit trace_rev =
@@ -88,7 +238,8 @@ let attacker_traces g sched ~attacker ~safety_period ~max_traces =
       let steps =
         List.filter
           (fun (_, period', _) -> period' <= safety_period)
-          (successors g sched ~attacker ~loc ~period ~moves ~history)
+          (successors_hearing g sched ~attacker ~heard_at ~loc ~period ~moves
+             ~history)
       in
       match steps with
       | [] -> emit trace_rev
@@ -110,6 +261,7 @@ let attacker_traces g sched ~attacker ~safety_period ~max_traces =
 
 let capture_time g sched ~attacker ~source ~limit =
   check_args g ~safety_period:limit ~source;
+  let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
   (* Track the best (lowest) period at which each state was reached; explore
      only improvements, so the search finds the minimum capture period. *)
   let best = Hashtbl.create 1024 in
@@ -141,7 +293,8 @@ let capture_time g sched ~attacker ~source ~limit =
               in
               explore c period' moves' history' trace_rev'
             end)
-          (successors g sched ~attacker ~loc ~period ~moves ~history)
+          (successors_hearing g sched ~attacker ~heard_at ~loc ~period ~moves
+             ~history)
       end
     end
   in

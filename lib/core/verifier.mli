@@ -53,6 +53,25 @@ val verify_with_stats :
     parameters (R widens branching, H multiplies the state space by
     [V^H]). *)
 
+val verify_with_stats_reference :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  outcome * int
+(** The original, unoptimized exploration: audible lists rebuilt and
+    re-sorted on every state expansion, visited states keyed by the
+    polymorphic [(location, period, moves, history)] tuple.
+    {!verify_with_stats} packs each state into one or two machine words and
+    keys a monomorphic table with them instead, memoising the audible lists
+    per location — same verdicts, same explored-state counts, several times
+    faster once [H > 0] multiplies the state space.  This entry point is the
+    differential-testing oracle for that fast path and the "before" series
+    of the bench harness's micro section; it is also what
+    {!verify_with_stats} falls back to for attacker budgets whose packed
+    state exceeds two words ([H × ⌈log₂ |V|⌉ > 62] bits). *)
+
 val is_slp_aware :
   Slpdas_wsn.Graph.t ->
   Schedule.t ->

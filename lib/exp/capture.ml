@@ -38,7 +38,15 @@ let summarize details =
     details;
   }
 
-let centralized ~topology ~mode ~params ~attacker ~seeds =
+(* Seed-indexed map, fanned out when [domains > 1].  A fresh pool per call
+   keeps the API self-contained; pool setup is microseconds against the
+   seconds-scale sweeps it serves.  Default 1: library callers (tests,
+   examples) get the plain sequential behaviour unless they opt in. *)
+let map_seeds ?(domains = 1) f seeds =
+  Slpdas_util.Pool.with_pool ~domains (fun pool ->
+      Slpdas_util.Pool.map pool f seeds)
+
+let centralized ?domains ~topology ~mode ~params ~attacker ~seeds () =
   let graph = topology.Slpdas_wsn.Topology.graph in
   let sink = topology.Slpdas_wsn.Topology.sink in
   let source = topology.Slpdas_wsn.Topology.source in
@@ -81,15 +89,14 @@ let centralized ~topology ~mode ~params ~attacker ~seeds =
       setup_messages = 0;
     }
   in
-  summarize (List.map one seeds)
+  summarize (map_seeds ?domains one seeds)
 
-let simulated ~topology ~mode ~params ~link ~attacker ~seeds =
+let simulated ?domains ~topology ~mode ~params ~link ~attacker ~seeds () =
   let period_length = Params.period_length params in
-  let one seed =
-    let result =
-      Runner.run
-        { Runner.topology; mode; params; link; airtime = None; attacker; seed }
-    in
+  let config seed =
+    { Runner.topology; mode; params; link; airtime = None; attacker; seed }
+  in
+  let detail seed result =
     {
       seed;
       captured = result.Runner.captured;
@@ -102,6 +109,10 @@ let simulated ~topology ~mode ~params ~link ~attacker ~seeds =
       setup_messages = result.Runner.setup_messages;
     }
   in
-  summarize (List.map one seeds)
+  let results =
+    Runner.run_many ~domains:(Option.value domains ~default:1)
+      (List.map config seeds)
+  in
+  summarize (List.map2 detail seeds results)
 
 let ratio_percent s = 100.0 *. s.ratio

@@ -36,20 +36,28 @@ val seeds : base:int -> runs:int -> int list
 (** [seeds ~base ~runs] is the canonical seed list [base, base+1, …]. *)
 
 val centralized :
+  ?domains:int ->
   topology:Slpdas_wsn.Topology.t ->
   mode:Slpdas_core.Protocol.mode ->
   params:Params.t ->
   attacker:(start:int -> Slpdas_core.Attacker.params) ->
   seeds:int list ->
+  unit ->
   summary
+(** Seeded runs are independent, so both evaluation paths fan out over a
+    {!Slpdas_util.Pool} of [domains] domains (default 1: sequential).
+    Summaries are identical for every [domains] value — runs are
+    deterministic in their seed and results are aggregated in seed order. *)
 
 val simulated :
+  ?domains:int ->
   topology:Slpdas_wsn.Topology.t ->
   mode:Slpdas_core.Protocol.mode ->
   params:Params.t ->
   link:Slpdas_sim.Link_model.t ->
   attacker:(start:int -> Slpdas_core.Attacker.params) ->
   seeds:int list ->
+  unit ->
   summary
 
 val ratio_percent : summary -> float

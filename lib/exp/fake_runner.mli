@@ -30,3 +30,8 @@ type result = {
 
 val run : config -> result
 (** Deterministic in [config]. *)
+
+val run_many : ?domains:int -> config list -> result list
+(** [List.map run] over a {!Slpdas_util.Pool} (default size: the hardware's
+    recommended domain count); order-preserving and independent of
+    [domains]. *)

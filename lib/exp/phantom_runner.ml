@@ -85,3 +85,7 @@ let run config =
     safety_seconds;
     delta_ss;
   }
+
+let run_many ?domains configs =
+  Slpdas_util.Pool.with_pool ?domains (fun pool ->
+      Slpdas_util.Pool.map pool run configs)

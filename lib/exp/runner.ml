@@ -168,3 +168,7 @@ let run ?(instrument = fun _ -> ()) config =
       | [] -> None
       | _ -> Some (Slpdas_util.Stats.mean latencies));
   }
+
+let run_many ?domains configs =
+  Slpdas_util.Pool.with_pool ?domains (fun pool ->
+      Slpdas_util.Pool.map pool (fun config -> run config) configs)

@@ -68,3 +68,12 @@ val run :
     results.  [instrument] is called with the freshly created engine before
     any event is processed — attach {!Slpdas_sim.Trace} recorders or extra
     observers there. *)
+
+val run_many : ?domains:int -> config list -> result list
+(** [run_many configs] is [List.map run configs] fanned out over a
+    {!Slpdas_util.Pool} of [domains] domains (default: the hardware's
+    recommended count).  Each run is fully determined by its config, so the
+    result list is identical for every [domains] value — [~domains:1]
+    executes sequentially in the calling domain and is bit-for-bit the
+    sequential behaviour.  [instrument] is not available here: engine hooks
+    are inherently per-run mutable state. *)

@@ -18,7 +18,7 @@ and ('s, 'm) t = {
   timer_generations : (int * string, int) Hashtbl.t;
   mutable now : float;
   mutable next_seq : int;
-  mutable observers : (time:float -> sender:int -> 'm -> unit) list;
+  observers : (time:float -> sender:int -> 'm -> unit) Queue.t;
   mutable broadcast_count : int;
   broadcast_by_node : int array;
   mutable delivery_count : int;
@@ -37,7 +37,9 @@ let node_state t v = Slpdas_gcn.Instance.state t.instances.(v)
 
 let node_fired t v = Slpdas_gcn.Instance.fired t.instances.(v)
 
-let on_broadcast t f = t.observers <- t.observers @ [ f ]
+(* A Queue keeps registration O(1) while preserving registration order; the
+   previous [l @ [f]] append was quadratic in the observer count. *)
+let on_broadcast t f = Queue.add f t.observers
 
 let broadcasts t = t.broadcast_count
 
@@ -122,7 +124,7 @@ let rec apply_effects t node effects =
         t.broadcast_count <- t.broadcast_count + 1;
         t.broadcast_by_node.(node) <- t.broadcast_by_node.(node) + 1;
         record_broadcast t node;
-        List.iter (fun f -> f ~time:t.now ~sender:node msg) t.observers;
+        Queue.iter (fun f -> f ~time:t.now ~sender:node msg) t.observers;
         Array.iter
           (fun v ->
             if Link_model.delivered t.link t.rng ~distance_m:(distance t node v)
@@ -160,7 +162,7 @@ let create ?airtime ~topology ~link ~rng ~program () =
       timer_generations = Hashtbl.create (4 * n);
       now = 0.0;
       next_seq = 0;
-      observers = [];
+      observers = Queue.create ();
       broadcast_count = 0;
       broadcast_by_node = Array.make n 0;
       delivery_count = 0;

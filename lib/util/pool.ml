@@ -1,0 +1,141 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  (* Current job, as a chunk-index consumer.  The closure owns the input and
+     output arrays of the map that published it; the pool only hands out
+     chunk indices. *)
+  mutable job : (int -> unit) option;
+  mutable chunks : int;  (* chunk count of the current job *)
+  mutable next : int;  (* next chunk index to hand out *)
+  mutable completed : int;  (* chunks fully executed *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Execute chunks of [job] until none remain unclaimed.  Called and returns
+   with [t.mutex] held; the lock is released around each chunk. *)
+let drain t job =
+  while t.next < t.chunks do
+    let i = t.next in
+    t.next <- t.next + 1;
+    Mutex.unlock t.mutex;
+    job i;
+    Mutex.lock t.mutex;
+    t.completed <- t.completed + 1;
+    if t.completed = t.chunks then begin
+      t.job <- None;
+      Condition.broadcast t.work_done
+    end
+  done
+
+let worker t =
+  Mutex.lock t.mutex;
+  let running = ref true in
+  while !running do
+    match t.job with
+    | Some job when t.next < t.chunks -> drain t job
+    | _ ->
+      if t.stopping then running := false
+      else Condition.wait t.work_available t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> max 1 (recommended ())
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Pool.create: domains must be >= 1"
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      chunks = 0;
+      next = 0;
+      completed = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_array t ?chunk f xs =
+  let len = Array.length xs in
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+    | None ->
+      (* Aim for several chunks per domain so uneven tasks balance, without
+         degenerating to per-item locking on long inputs. *)
+      max 1 (len / (t.size * 8))
+  in
+  if len = 0 then [||]
+  else if t.size = 1 then Array.map f xs
+  else begin
+    let results = Array.make len None in
+    let first_error = ref None in
+    let job i =
+      let lo = i * chunk and hi = min len ((i + 1) * chunk) in
+      try
+        (* Racy read, deliberately: once a task has failed there is no point
+           computing the remaining chunks, but seeing a stale [None] only
+           costs wasted work, never correctness. *)
+        if !first_error = None then
+          for k = lo to hi - 1 do
+            results.(k) <- Some (f xs.(k))
+          done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.mutex;
+        if !first_error = None then first_error := Some (e, bt);
+        Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if Option.is_some t.job || t.next < t.chunks then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is already running a map (not reentrant)"
+    end;
+    t.chunks <- (len + chunk - 1) / chunk;
+    t.next <- 0;
+    t.completed <- 0;
+    t.job <- Some job;
+    Condition.broadcast t.work_available;
+    (* The calling domain is a worker too. *)
+    drain t job;
+    while t.completed < t.chunks do
+      Condition.wait t.work_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map t ?chunk f xs =
+  Array.to_list (map_array t ?chunk f (Array.of_list xs))

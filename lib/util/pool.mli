@@ -1,0 +1,53 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The experiment harness is embarrassingly parallel: every seeded run and
+    every per-source verification is independent and fully determined by its
+    inputs.  This pool fans such work out across domains while keeping the
+    results in submission order, so a parallel map returns exactly what the
+    sequential map would — parallelism never changes results, only
+    wall-clock.
+
+    A pool of size 1 spawns no domains at all: [map] degenerates to a plain
+    sequential [List.map] in the calling domain, guaranteeing bit-for-bit
+    identical behaviour to code that never heard of the pool.
+
+    Tasks must be thread-safe with respect to each other (no shared mutable
+    state); everything in this repository qualifies because runs are
+    parameterised by value (topology, params, seed).  Pools are not
+    reentrant: a task must not submit work to the pool executing it. *)
+
+type t
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism the hardware
+    supports, used as the default pool size. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the caller's
+    domain is the remaining worker).  Default {!recommended}.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Must not be called while a map is
+    in flight. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs], computed by all of the pool's
+    domains.  Order-preserving and deterministic for pure [f]: the result
+    does not depend on the pool size.  Work is handed out in chunks of
+    [chunk] items (default: balanced against the pool size) to bound
+    synchronisation overhead.  If any application of [f] raises, the first
+    exception (in completion order) is re-raised in the caller after the
+    remaining chunks are drained.
+    @raise Invalid_argument if [chunk < 1] or if called from inside a task
+    of the same pool. *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. *)

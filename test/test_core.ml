@@ -602,6 +602,43 @@ let prop_verifier_matches_descent =
       = simulate_descent g r.Das_build.schedule ~start:topo.Topology.sink
           ~source:topo.Topology.source ~safety_period:sp)
 
+(* The packed-state fast path must be observationally identical to the
+   reference DFS: same verdict (including the counterexample) and same
+   explored-state count, for any attacker budget — h up to 8 exercises both
+   the single-int and the int-pair key encodings. *)
+let prop_packed_verifier_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"packed verifier = reference verifier"
+    QCheck.(
+      pair
+        (pair (int_range 3 8) (int_bound 10_000))
+        (pair
+           (pair (int_range 1 3) (int_bound 8))
+           (pair (int_range 1 3) (int_bound 2))))
+    (fun ((dim, seed), ((r, h), (m, decide_ix))) ->
+      let topo = Topology.grid dim in
+      let g = topo.Topology.graph in
+      let built = Das_build.build ~rng:(Rng.create seed) g ~sink:topo.Topology.sink in
+      let decide, decide_name =
+        match decide_ix with
+        | 0 -> (Attacker.lowest_slot, "lowest")
+        | 1 -> (Attacker.lowest_slot_avoiding_history, "avoiding")
+        | _ -> (Attacker.second_lowest, "second")
+      in
+      let attacker =
+        Attacker.make ~decide ~decide_name ~r ~h ~m ~start:topo.Topology.sink ()
+      in
+      let delta_ss = Topology.source_sink_distance topo in
+      let safety_period = Safety.safety_periods ~delta_ss () in
+      let fast =
+        Verifier.verify_with_stats g built.Das_build.schedule ~attacker
+          ~safety_period ~source:topo.Topology.source
+      in
+      let reference =
+        Verifier.verify_with_stats_reference g built.Das_build.schedule ~attacker
+          ~safety_period ~source:topo.Topology.source
+      in
+      fast = reference)
+
 (* ------------------------------------------------------------------ *)
 (* Slp_refine                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -878,6 +915,20 @@ let test_coverage_grid_fraction () =
   Alcotest.(check bool) "at most one per hop ring" true
     (List.length vulnerable <= 16)
 
+let test_coverage_domain_invariance () =
+  let topo = Topology.grid 7 in
+  let r =
+    Das_build.build ~rng:(Rng.create 5) topo.Topology.graph
+      ~sink:topo.Topology.sink
+  in
+  let analyse domains =
+    Slpdas_core.Coverage.analyse ~domains topo.Topology.graph
+      r.Das_build.schedule
+      ~attacker:(Attacker.canonical ~start:topo.Topology.sink)
+  in
+  let seq = analyse 1 and par = analyse 3 in
+  Alcotest.(check bool) "identical analysis for 1 vs 3 domains" true (seq = par)
+
 let test_coverage_skips_unreachable () =
   let g = Graph.create ~n:4 [ (0, 1) ] in
   let s = Schedule.of_alist ~n:4 ~sink:1 [ (0, 5) ] in
@@ -1009,6 +1060,7 @@ let () =
           Alcotest.test_case "capture time none" `Quick test_capture_time_none_when_trapped;
           Alcotest.test_case "argument validation" `Quick test_verifier_invalid_args;
           QCheck_alcotest.to_alcotest prop_verifier_matches_descent;
+          QCheck_alcotest.to_alcotest prop_packed_verifier_matches_reference;
         ] );
       ( "slp-refine",
         [
@@ -1035,6 +1087,8 @@ let () =
           Alcotest.test_case "line gradient" `Quick test_coverage_line_gradient;
           Alcotest.test_case "trap protects" `Quick test_coverage_trap_protects_everyone;
           Alcotest.test_case "grid fraction" `Quick test_coverage_grid_fraction;
+          Alcotest.test_case "domain invariance" `Quick
+            test_coverage_domain_invariance;
           Alcotest.test_case "skips unreachable" `Quick test_coverage_skips_unreachable;
         ] );
       ( "decisions",

@@ -63,7 +63,7 @@ let test_seeds_canonical () =
 let centralized_summary ?(mode = Protocol.Protectionless) ?(runs = 40) () =
   Capture.centralized ~topology:topo11 ~mode ~params:Params.default
     ~attacker:(fun ~start -> Attacker.canonical ~start)
-    ~seeds:(Capture.seeds ~base:100 ~runs)
+    ~seeds:(Capture.seeds ~base:100 ~runs) ()
 
 let test_centralized_summary_consistent () =
   let s = centralized_summary () in
@@ -108,7 +108,7 @@ let test_centralized_slp_reduces_capture () =
   let summary mode =
     Capture.centralized ~topology:topo11 ~mode ~params
       ~attacker:(fun ~start -> Attacker.canonical ~start)
-      ~seeds:(Capture.seeds ~base:0 ~runs)
+      ~seeds:(Capture.seeds ~base:0 ~runs) ()
   in
   let prot = summary Protocol.Protectionless in
   let slp = summary Protocol.Slp in
@@ -133,6 +133,33 @@ let test_runner_deterministic () =
   Alcotest.(check bool) "captured equal" a.Runner.captured b.Runner.captured;
   Alcotest.(check int) "messages equal" a.Runner.total_messages b.Runner.total_messages;
   Alcotest.(check (list int)) "paths equal" a.Runner.attacker_path b.Runner.attacker_path
+
+(* The batch API must give exactly the sequential answers whatever the pool
+   size: every run is seed-parameterised and results come back in config
+   order. *)
+let test_run_many_domain_invariance () =
+  let configs =
+    List.map
+      (fun seed ->
+        Runner.default_config ~topology:small_topo
+          ~mode:Protocol.Protectionless ~seed)
+      [ 0; 1; 2; 3 ]
+  in
+  let seq = Runner.run_many ~domains:1 configs in
+  let par = Runner.run_many ~domains:3 configs in
+  Alcotest.(check int) "same run count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Runner.result) (b : Runner.result) ->
+      Alcotest.(check bool) "captured" a.Runner.captured b.Runner.captured;
+      Alcotest.(check (option (float 1e-9)))
+        "capture time" a.Runner.capture_seconds b.Runner.capture_seconds;
+      Alcotest.(check int) "messages" a.Runner.total_messages
+        b.Runner.total_messages;
+      Alcotest.(check (list int)) "path" a.Runner.attacker_path
+        b.Runner.attacker_path;
+      Alcotest.(check (float 1e-9))
+        "delivery" a.Runner.delivery_ratio b.Runner.delivery_ratio)
+    seq par
 
 let test_runner_schedule_valid () =
   let r =
@@ -221,7 +248,7 @@ let test_simulated_summary_runs () =
     Capture.simulated ~topology:small_topo ~mode:Protocol.Protectionless
       ~params:Params.default ~link:Slpdas_sim.Link_model.Ideal
       ~attacker:(fun ~start -> Attacker.canonical ~start)
-      ~seeds:(Capture.seeds ~base:0 ~runs:4)
+      ~seeds:(Capture.seeds ~base:0 ~runs:4) ()
   in
   Alcotest.(check int) "runs" 4 s.Capture.runs;
   Alcotest.(check bool) "setup messages recorded" true
@@ -255,6 +282,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "deterministic" `Slow test_runner_deterministic;
+          Alcotest.test_case "run_many 1 vs N domains" `Slow
+            test_run_many_domain_invariance;
           Alcotest.test_case "schedule valid" `Quick test_runner_schedule_valid;
           Alcotest.test_case "attacker starts at sink" `Quick
             test_runner_attacker_starts_at_sink;

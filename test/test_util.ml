@@ -5,6 +5,7 @@ module Heap = Slpdas_util.Heap
 module Stats = Slpdas_util.Stats
 module Bitset = Slpdas_util.Bitset
 module Tabular = Slpdas_util.Tabular
+module Pool = Slpdas_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -329,6 +330,55 @@ let prop_bitset_matches_model =
       Bitset.elements s = List.sort compare model)
 
 (* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_basic () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (list int))
+        "map squares in order"
+        [ 0; 1; 4; 9; 16 ]
+        (Pool.map pool (fun x -> x * x) [ 0; 1; 2; 3; 4 ]))
+
+let test_pool_map_empty () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty in, empty out" []
+        (Pool.map pool (fun x -> x) []))
+
+let test_pool_reuse () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let a = Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.map pool (fun x -> x * 10) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "first map" [ 2; 3; 4 ] a;
+      Alcotest.(check (list int)) "second map on same pool" [ 10; 20; 30 ] b)
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "worker exception reaches the caller"
+        (Failure "boom") (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x = 5 then failwith "boom" else x)
+               (List.init 32 Fun.id)));
+      (* The pool stays usable after a failed map. *)
+      Alcotest.(check (list int)) "pool survives the failure" [ 1; 2 ]
+        (Pool.map pool Fun.id [ 1; 2 ]))
+
+let test_pool_invalid_domains () =
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()))
+
+let prop_pool_matches_list_map =
+  QCheck.Test.make ~count:100
+    ~name:"pool map equals List.map for any size/chunk"
+    QCheck.(triple (list small_int) (int_range 1 4) (int_range 1 5))
+    (fun (xs, domains, chunk) ->
+      Pool.with_pool ~domains (fun pool ->
+          Pool.map pool ~chunk (fun x -> (x * 2) + 1) xs
+          = List.map (fun x -> (x * 2) + 1) xs))
+
+(* ------------------------------------------------------------------ *)
 (* Tabular                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,6 +472,16 @@ let () =
           Alcotest.test_case "copy" `Quick test_bitset_copy_independent;
           Alcotest.test_case "clear" `Quick test_bitset_clear;
           QCheck_alcotest.to_alcotest prop_bitset_matches_model;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_basic;
+          Alcotest.test_case "empty list" `Quick test_pool_map_empty;
+          Alcotest.test_case "reuse across maps" `Quick test_pool_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "invalid domains" `Quick test_pool_invalid_domains;
+          QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
         ] );
       ( "tabular",
         [

@@ -231,20 +231,31 @@ let related_work () =
       | [] -> "-"
       | ts -> Printf.sprintf "%.0f s" (Slpdas_util.Stats.mean ts)
     in
+    (* Per-protocol event-bus aggregates, exported as JSON below.  The
+       aggregates merge in seed order inside run_many_with_events, so the
+       export is byte-identical for any BENCH_DOMAINS. *)
+    let event_sections = ref [] in
+    let record_events name counters =
+      event_sections := (name, counters) :: !event_sections
+    in
     let phantom_row name walk_length =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      Slpdas_exp.Phantom_runner.run_many ~domains
-        (List.map
-           (fun seed ->
-             {
-               Slpdas_exp.Phantom_runner.topology;
-               walk_length;
-               link = Slpdas_sim.Link_model.Ideal;
-               seed;
-             })
-           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      let results, counters =
+        Slpdas_exp.Phantom_runner.run_many_with_events ~domains
+          (List.map
+             (fun seed ->
+               {
+                 Slpdas_exp.Phantom_runner.topology;
+                 walk_length;
+                 link = Slpdas_sim.Link_model.Ideal;
+                 seed;
+               })
+             (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      in
+      record_events name counters;
+      results
       |> List.iter (fun r ->
              if r.Slpdas_exp.Phantom_runner.captured then begin
                incr captures;
@@ -267,10 +278,14 @@ let related_work () =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      Slpdas_exp.Runner.run_many ~domains
-        (List.map
-           (fun seed -> Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
-           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      let results, counters =
+        Slpdas_exp.Runner.run_many_with_events ~domains
+          (List.map
+             (fun seed -> Slpdas_exp.Runner.default_config ~topology ~mode ~seed)
+             (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      in
+      record_events name counters;
+      results
       |> List.iter (fun r ->
              if r.Slpdas_exp.Runner.captured then begin
                incr captures;
@@ -299,17 +314,21 @@ let related_work () =
       let captures = ref 0 and times = ref [] in
       let msgs = ref 0 and delivered = ref 0 in
       let safety = ref 0.0 in
-      Slpdas_exp.Fake_runner.run_many ~domains
-        (List.map
-           (fun seed ->
-             {
-               Slpdas_exp.Fake_runner.topology;
-               fake_sources = corners;
-               fake_rate_multiplier = rate;
-               link = Slpdas_sim.Link_model.Ideal;
-               seed;
-             })
-           (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      let results, counters =
+        Slpdas_exp.Fake_runner.run_many_with_events ~domains
+          (List.map
+             (fun seed ->
+               {
+                 Slpdas_exp.Fake_runner.topology;
+                 fake_sources = corners;
+                 fake_rate_multiplier = rate;
+                 link = Slpdas_sim.Link_model.Ideal;
+                 seed;
+               })
+             (Slpdas_exp.Capture.seeds ~base:1000 ~runs))
+      in
+      record_events name counters;
+      results
       |> List.iter (fun r ->
              if r.Slpdas_exp.Fake_runner.captured then begin
                incr captures;
@@ -328,21 +347,50 @@ let related_work () =
         Printf.sprintf "%.0f" (float_of_int !msgs /. float_of_int (max 1 !delivered));
       ]
     in
+    (* fold_left pins left-to-right evaluation so the event sections are
+       recorded in table order (a bare list literal evaluates right to
+       left). *)
     let rows =
-      [
-        phantom_row "flooding (routing)" 0;
-        phantom_row "phantom W=5 (routing)" 5;
-        phantom_row "phantom W=10 (routing)" 10;
-        fake_row "fake sources x0.5 (routing)" 0.5;
-        fake_row "fake sources x1 (routing)" 1.0;
-        das_row "protectionless DAS (MAC)" Slpdas_core.Protocol.Protectionless;
-        das_row "SLP DAS (MAC)" Slpdas_core.Protocol.Slp;
-      ]
+      List.rev
+        (List.fold_left
+           (fun acc row -> row () :: acc)
+           []
+           [
+             (fun () -> phantom_row "flooding (routing)" 0);
+             (fun () -> phantom_row "phantom W=5 (routing)" 5);
+             (fun () -> phantom_row "phantom W=10 (routing)" 10);
+             (fun () -> fake_row "fake sources x0.5 (routing)" 0.5);
+             (fun () -> fake_row "fake sources x1 (routing)" 1.0);
+             (fun () ->
+               das_row "protectionless DAS (MAC)"
+                 Slpdas_core.Protocol.Protectionless);
+             (fun () -> das_row "SLP DAS (MAC)" Slpdas_core.Protocol.Slp);
+           ])
     in
     emit ~name:"related_work"
       ~header:
         [ "protocol"; "capture"; "mean capture t"; "safety period"; "msgs/reading" ]
       rows;
+    (* Structured event export: one counters object per protocol, in table
+       order, to bench_results/related_work_events.json. *)
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    (try
+       let oc =
+         open_out (Filename.concat results_dir "related_work_events.json")
+       in
+       output_string oc "{\n  \"sections\": [\n";
+       let sections = List.rev !event_sections in
+       List.iteri
+         (fun i (name, counters) ->
+           Printf.fprintf oc "    {\"protocol\": %S, \"events\": %s}%s\n" name
+             (Slpdas_sim.Event.to_json counters)
+             (if i = List.length sections - 1 then "" else ","))
+         sections;
+       output_string oc "  ]\n}\n";
+       close_out oc
+     with Sys_error _ -> ());
     print_endline
       "(On networks this small, flooding and phantom walks only delay the\n\
      back-tracing attacker - every flood wavefront points at its origin -\n\

@@ -42,6 +42,48 @@ let runs_arg =
 
 let topology_of_dim dim = Slpdas_wsn.Topology.grid dim
 
+let domains_arg =
+  let doc =
+    "Worker domains for multi-run commands (default: the hardware's \
+     recommended count).  Results are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let events_json_arg =
+  let doc =
+    "Write the run's aggregated event-bus counters (broadcasts, deliveries, \
+     drops, timer fires, attacker moves, phase transitions) as JSON to FILE."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-json" ] ~docv:"FILE" ~doc)
+
+let write_events_json path counters =
+  match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Slpdas_sim.Event.to_json counters);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "events: wrote %s@." path
+
+(* Price a run (or the element-wise sum of several runs) in Joules; see
+   {!Slpdas_exp.Energy}. *)
+let print_energy ?(runs = 1) graph ~broadcasts_by_node ~duration_seconds =
+  let report = Slpdas_exp.Energy.of_broadcasts graph ~broadcasts_by_node in
+  let per_run = 1.0 /. float_of_int (max 1 runs) in
+  Format.printf
+    "energy: total %.3f J; hotspot node %d at %.4f J; mean node %.4f J@."
+    (report.Slpdas_exp.Energy.total_joules *. per_run)
+    report.Slpdas_exp.Energy.hotspot
+    (report.Slpdas_exp.Energy.max_node_joules *. per_run)
+    (report.Slpdas_exp.Energy.mean_node_joules *. per_run);
+  if duration_seconds > 0.0 then
+    Format.printf "energy: hotspot lifetime %.0f days on 2xAA@."
+      (Slpdas_exp.Energy.lifetime_days report ~duration_seconds)
+
 let params_of ~sd ~gap =
   { (Slpdas_exp.Params.with_search_distance sd Slpdas_exp.Params.default) with
     Slpdas_exp.Params.refine_gap = gap }
@@ -231,7 +273,7 @@ let verify_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run dim seed slp sd gap trace_count =
+  let run dim seed slp sd gap trace_count events_json =
     let topo = topology_of_dim dim in
     let mode =
       if slp then Slpdas_core.Protocol.Slp
@@ -244,14 +286,19 @@ let simulate_cmd =
       }
     in
     let trace = ref None in
-    let instrument engine =
+    let scenario =
+      let s = Slpdas_exp.Runner.scenario config in
       if trace_count > 0 then
-        trace :=
-          Some
-            (Slpdas_sim.Trace.attach ~capacity:1_000_000 engine
-               ~describe:Slpdas_core.Messages.describe)
+        Slpdas_exp.Scenario.with_monitor
+          (fun engine ->
+            trace :=
+              Some
+                (Slpdas_sim.Trace.attach ~capacity:1_000_000 engine
+                   ~describe:Slpdas_core.Messages.describe))
+          s
+      else s
     in
-    let r = Slpdas_exp.Runner.run ~instrument config in
+    let r, counters = Slpdas_exp.Harness.run_with_events scenario in
     (match !trace with
     | Some t ->
       Format.printf "first %d transmissions:@." trace_count;
@@ -273,9 +320,13 @@ let simulate_cmd =
     Format.printf "attacker path: %s@."
       (String.concat " -> "
          (List.map string_of_int r.Slpdas_exp.Runner.attacker_path));
-    match (r.Slpdas_exp.Runner.captured, r.Slpdas_exp.Runner.capture_seconds) with
+    print_energy topo.Slpdas_wsn.Topology.graph
+      ~broadcasts_by_node:r.Slpdas_exp.Runner.broadcasts_by_node
+      ~duration_seconds:r.Slpdas_exp.Runner.duration_seconds;
+    write_events_json events_json counters;
+    (match (r.Slpdas_exp.Runner.captured, r.Slpdas_exp.Runner.capture_seconds) with
     | true, Some t -> Format.printf "outcome: CAPTURED after %.1fs@." t
-    | _ -> Format.printf "outcome: source safe@."
+    | _ -> Format.printf "outcome: source safe@.")
   in
   let trace_arg =
     Arg.(
@@ -285,29 +336,47 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"One full discrete-event run")
-    Term.(const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ trace_arg)
+    Term.(
+      const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ trace_arg
+      $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* phantom                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let phantom_cmd =
-  let run dim runs walk_length =
+  let run dim runs walk_length domains events_json =
     let topo = topology_of_dim dim in
+    let configs =
+      List.init runs (fun seed ->
+          {
+            Slpdas_exp.Phantom_runner.topology = topo;
+            walk_length;
+            link = Slpdas_sim.Link_model.Ideal;
+            seed;
+          })
+    in
+    let results, counters =
+      Slpdas_exp.Phantom_runner.run_many_with_events ?domains configs
+    in
     let captures = ref 0 and times = ref [] and msgs = ref 0 in
-    for seed = 0 to runs - 1 do
-      let r =
-        Slpdas_exp.Phantom_runner.run
-          { topology = topo; walk_length; link = Slpdas_sim.Link_model.Ideal; seed }
-      in
-      if r.Slpdas_exp.Phantom_runner.captured then begin
-        incr captures;
-        match r.Slpdas_exp.Phantom_runner.capture_seconds with
-        | Some t -> times := t :: !times
-        | None -> ()
-      end;
-      msgs := !msgs + r.Slpdas_exp.Phantom_runner.messages_sent
-    done;
+    let n_nodes = Slpdas_wsn.Graph.n topo.Slpdas_wsn.Topology.graph in
+    let tx_by_node = Array.make n_nodes 0 in
+    let duration = ref 0.0 in
+    List.iter
+      (fun r ->
+        if r.Slpdas_exp.Phantom_runner.captured then begin
+          incr captures;
+          match r.Slpdas_exp.Phantom_runner.capture_seconds with
+          | Some t -> times := t :: !times
+          | None -> ()
+        end;
+        msgs := !msgs + r.Slpdas_exp.Phantom_runner.messages_sent;
+        Array.iteri
+          (fun i c -> tx_by_node.(i) <- tx_by_node.(i) + c)
+          r.Slpdas_exp.Phantom_runner.broadcasts_by_node;
+        duration := !duration +. r.Slpdas_exp.Phantom_runner.duration_seconds)
+      results;
     Format.printf
       "phantom routing (walk %d) on %dx%d over %d runs:@.  capture ratio %.1f%%@."
       walk_length dim dim runs
@@ -316,7 +385,10 @@ let phantom_cmd =
     | [] -> ()
     | ts ->
       Format.printf "  mean capture time %.1fs@." (Slpdas_util.Stats.mean ts));
-    Format.printf "  mean transmissions per run %d@." (!msgs / max 1 runs)
+    Format.printf "  mean transmissions per run %d@." (!msgs / max 1 runs);
+    print_energy ~runs topo.Slpdas_wsn.Topology.graph
+      ~broadcasts_by_node:tx_by_node ~duration_seconds:!duration;
+    write_events_json events_json counters
   in
   let walk_arg =
     Arg.(
@@ -327,32 +399,44 @@ let phantom_cmd =
   Cmd.v
     (Cmd.info "phantom"
        ~doc:"Run the routing-layer phantom baseline (related work, SII)")
-    Term.(const run $ dim_arg $ runs_arg $ walk_arg)
+    Term.(
+      const run $ dim_arg $ runs_arg $ walk_arg $ domains_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fake sources                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let fake_cmd =
-  let run dim runs rate =
+  let run dim runs rate domains events_json =
     let topo = topology_of_dim dim in
     let corners = Slpdas_core.Fake_source.opposite_corners topo ~dim in
-    let captures = ref 0 and msgs = ref 0 and real = ref 0 in
-    for seed = 0 to runs - 1 do
-      let r =
-        Slpdas_exp.Fake_runner.run
+    let configs =
+      List.init runs (fun seed ->
           {
-            topology = topo;
+            Slpdas_exp.Fake_runner.topology = topo;
             fake_sources = corners;
             fake_rate_multiplier = rate;
             link = Slpdas_sim.Link_model.Ideal;
             seed;
-          }
-      in
-      if r.Slpdas_exp.Fake_runner.captured then incr captures;
-      msgs := !msgs + r.Slpdas_exp.Fake_runner.messages_sent;
-      real := !real + r.Slpdas_exp.Fake_runner.real_delivered
-    done;
+          })
+    in
+    let results, counters =
+      Slpdas_exp.Fake_runner.run_many_with_events ?domains configs
+    in
+    let captures = ref 0 and msgs = ref 0 and real = ref 0 in
+    let n_nodes = Slpdas_wsn.Graph.n topo.Slpdas_wsn.Topology.graph in
+    let tx_by_node = Array.make n_nodes 0 in
+    let duration = ref 0.0 in
+    List.iter
+      (fun r ->
+        if r.Slpdas_exp.Fake_runner.captured then incr captures;
+        msgs := !msgs + r.Slpdas_exp.Fake_runner.messages_sent;
+        real := !real + r.Slpdas_exp.Fake_runner.real_delivered;
+        Array.iteri
+          (fun i c -> tx_by_node.(i) <- tx_by_node.(i) + c)
+          r.Slpdas_exp.Fake_runner.broadcasts_by_node;
+        duration := !duration +. r.Slpdas_exp.Fake_runner.duration_seconds)
+      results;
     Format.printf
       "fake sources at %s (rate x%.1f) on %dx%d over %d runs:@."
       (String.concat "," (List.map string_of_int corners))
@@ -360,7 +444,10 @@ let fake_cmd =
     Format.printf "  capture ratio %.1f%%@."
       (100.0 *. float_of_int !captures /. float_of_int runs);
     Format.printf "  transmissions per delivered reading %.0f@."
-      (float_of_int !msgs /. float_of_int (max 1 !real))
+      (float_of_int !msgs /. float_of_int (max 1 !real));
+    print_energy ~runs topo.Slpdas_wsn.Topology.graph
+      ~broadcasts_by_node:tx_by_node ~duration_seconds:!duration;
+    write_events_json events_json counters
   in
   let rate_arg =
     Arg.(
@@ -371,7 +458,8 @@ let fake_cmd =
   Cmd.v
     (Cmd.info "fake"
        ~doc:"Run the fake-source baseline (related work, SII refs [10]-[12])")
-    Term.(const run $ dim_arg $ runs_arg $ rate_arg)
+    Term.(
+      const run $ dim_arg $ runs_arg $ rate_arg $ domains_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)

@@ -19,9 +19,8 @@ type result = {
   delta_ss : int;
 }
 
-let run config =
+let scenario config =
   let topology = config.topology in
-  let graph = topology.Slpdas_wsn.Topology.graph in
   let sink = topology.Slpdas_wsn.Topology.sink in
   let source = topology.Slpdas_wsn.Topology.source in
   let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
@@ -38,52 +37,45 @@ let run config =
     Slpdas_core.Safety.safety_seconds ~period_length:protocol.source_period
       ~delta_ss ()
   in
-  let engine =
-    Slpdas_sim.Engine.create ~topology ~link:config.link
-      ~rng:(Slpdas_util.Rng.create (config.seed lxor 0xfa4e))
-      ~program:(Slpdas_core.Fake_source.program protocol) ()
+  let attach engine =
+    Scenario.Hunter.attach ~start:sink ~source
+      ~message_id:Slpdas_core.Fake_source.message_id engine
   in
-  let location = ref sink in
-  let path_rev = ref [ sink ] in
-  let acted = Hashtbl.create 64 in
-  let capture_time = ref None in
-  Slpdas_sim.Engine.on_broadcast engine (fun ~time ~sender msg ->
-      if !capture_time = None then begin
-        match Slpdas_core.Fake_source.message_id msg with
-        | Some id
-          when (not (Hashtbl.mem acted id))
-               && (sender = !location
-                  || Slpdas_wsn.Graph.mem_edge graph !location sender) ->
-          Hashtbl.add acted id ();
-          if sender <> !location then begin
-            location := sender;
-            path_rev := sender :: !path_rev;
-            if sender = source then begin
-              capture_time := Some (time -. protocol.start_time);
-              Slpdas_sim.Engine.stop engine
-            end
-          end
-        | Some _ | None -> ()
-      end);
-  Slpdas_sim.Engine.run_until engine (protocol.start_time +. safety_seconds);
-  let sink_state = Slpdas_sim.Engine.node_state engine sink in
-  let captured =
-    match !capture_time with Some t -> t <= safety_seconds | None -> false
+  let extract engine hunter =
+    let capture_seconds =
+      Option.map
+        (fun t -> t -. protocol.Slpdas_core.Fake_source.start_time)
+        (Scenario.Hunter.capture_time hunter)
+    in
+    let sink_state = Slpdas_sim.Engine.node_state engine sink in
+    {
+      captured =
+        (match capture_seconds with
+        | Some t -> t <= safety_seconds
+        | None -> false);
+      capture_seconds;
+      attacker_path = Scenario.Hunter.path hunter;
+      messages_sent = Slpdas_sim.Engine.broadcasts engine;
+      broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
+      duration_seconds = Slpdas_sim.Engine.time engine;
+      real_delivered =
+        List.length sink_state.Slpdas_core.Fake_source.received_real;
+      fake_delivered = sink_state.Slpdas_core.Fake_source.received_fake;
+      safety_seconds;
+      delta_ss;
+    }
   in
-  {
-    captured;
-    capture_seconds = !capture_time;
-    attacker_path = List.rev !path_rev;
-    messages_sent = Slpdas_sim.Engine.broadcasts engine;
-    broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
-    duration_seconds = Slpdas_sim.Engine.time engine;
-    real_delivered =
-      List.length sink_state.Slpdas_core.Fake_source.received_real;
-    fake_delivered = sink_state.Slpdas_core.Fake_source.received_fake;
-    safety_seconds;
-    delta_ss;
-  }
+  Scenario.make ~name:"fake-source" ~topology ~link:config.link
+    ~engine_seed:(config.seed lxor 0xfa4e)
+    ~program:(Slpdas_core.Fake_source.program protocol)
+    ~deadline:(protocol.Slpdas_core.Fake_source.start_time +. safety_seconds)
+    ~attach ~extract ()
 
-let run_many ?domains configs =
-  Slpdas_util.Pool.with_pool ?domains (fun pool ->
-      Slpdas_util.Pool.map pool run configs)
+let run config = Harness.run (scenario config)
+
+let run_with_events config = Harness.run_with_events (scenario config)
+
+let run_many ?domains configs = Harness.run_many ?domains scenario configs
+
+let run_many_with_events ?domains configs =
+  Harness.run_many_with_events ?domains scenario configs

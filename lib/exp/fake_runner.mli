@@ -1,10 +1,12 @@
 (** Discrete-event runs of the fake-source baseline
     ({!Slpdas_core.Fake_source}) with the panda-hunter eavesdropper.
 
-    The attacker cannot distinguish fake from real traffic: it moves to the
-    sender of the first transmission it hears of every message it has not
-    acted on yet, exactly as in {!Phantom_runner}.  Capture means reaching
-    the {e real} source within the safety period. *)
+    The attacker ({!Scenario.Hunter}) cannot distinguish fake from real
+    traffic: it moves to the sender of the first transmission it hears of
+    every message it has not acted on yet, exactly as in {!Phantom_runner}.
+    Capture means reaching the {e real} source within the safety period.
+
+    A thin adapter over {!Scenario}/{!Harness}; see {!scenario}. *)
 
 type config = {
   topology : Slpdas_wsn.Topology.t;
@@ -28,10 +30,28 @@ type result = {
   delta_ss : int;
 }
 
+val scenario :
+  config ->
+  ( Slpdas_core.Fake_source.state,
+    Slpdas_core.Fake_source.msg,
+    Scenario.Hunter.t,
+    result )
+  Scenario.t
+(** Package a config as a scenario value; the hunter's moves appear as
+    {!Slpdas_sim.Event.Attacker_move} on the engine's event bus. *)
+
 val run : config -> result
-(** Deterministic in [config]. *)
+(** [Harness.run (scenario config)].  Deterministic in [config]. *)
+
+val run_with_events : config -> result * Slpdas_sim.Event.counters
+(** Also return the run's aggregated event counters. *)
 
 val run_many : ?domains:int -> config list -> result list
 (** [List.map run] over a {!Slpdas_util.Pool} (default size: the hardware's
     recommended domain count); order-preserving and independent of
     [domains]. *)
+
+val run_many_with_events :
+  ?domains:int -> config list -> result list * Slpdas_sim.Event.counters
+(** Like {!run_many}, additionally merging every run's event counters in
+    input order; identical for every [domains] value. *)

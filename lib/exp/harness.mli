@@ -1,0 +1,45 @@
+(** Generic execution of {!Scenario} values: the one engine-boot and
+    fan-out path shared by every protocol family.
+
+    [run] boots a deterministic engine from the scenario (topology, link
+    model, salted seed, per-node programs), attaches the scenario's
+    monitors and attacker/observer state, drives the simulation to the
+    scenario's deadline and applies its metric extractors.  Equal scenarios
+    give equal results.
+
+    [run_many] fans a config list out over a {!Slpdas_util.Pool}; each
+    worker builds its scenario from the config by value, so observers and
+    event subscriptions are per-run state and parallel observability works
+    exactly as in sequential runs.  Results return in input order, so the
+    result list — and, in the [_with_events] variants, the merged event
+    counters — are identical for every [domains] value; [~domains:1] is
+    bit-for-bit the sequential behaviour. *)
+
+val run : ('s, 'm, 'obs, 'r) Scenario.t -> 'r
+(** Execute one seeded run. *)
+
+val run_with_events :
+  ('s, 'm, 'obs, 'r) Scenario.t -> 'r * Slpdas_sim.Event.counters
+(** Also return the run's event-bus aggregate (broadcasts, deliveries,
+    drops, timer fires, attacker moves, phase transitions, first/last
+    event times). *)
+
+val run_many :
+  ?domains:int ->
+  ('c -> ('s, 'm, 'obs, 'r) Scenario.t) ->
+  'c list ->
+  'r list
+(** [run_many ?domains scenario_of configs] is
+    [List.map (fun c -> run (scenario_of c)) configs] fanned out over a
+    pool of [domains] domains (default: the hardware's recommended
+    count). *)
+
+val run_many_with_events :
+  ?domains:int ->
+  ('c -> ('s, 'm, 'obs, 'r) Scenario.t) ->
+  'c list ->
+  'r list * Slpdas_sim.Event.counters
+(** Like {!run_many}, additionally aggregating every run's event counters:
+    each run aggregates on its worker, and the per-run aggregates merge in
+    input order ({!Slpdas_sim.Event.merge_all}), so the combined counters
+    are deterministic and independent of [domains]. *)

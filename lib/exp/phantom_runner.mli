@@ -1,15 +1,17 @@
 (** Discrete-event runs of the phantom-routing baseline ({!Slpdas_core.Phantom}),
     with the classic panda-hunter eavesdropper attached.
 
-    The attacker sits at the sink and, for every {e distinct} message it has
-    not yet acted on, moves to the sender of the first transmission of that
-    message it hears — one hop per source message, the routing-layer
-    equivalent of the paper's (1, 0, 1) attacker.  Capture means reaching
-    the source within the safety period [1.5 × P{_src} × (∆ss + 1)].
+    The attacker ({!Scenario.Hunter}) sits at the sink and, for every
+    {e distinct} message it has not yet acted on, moves to the sender of the
+    first transmission of that message it hears — one hop per source
+    message, the routing-layer equivalent of the paper's (1, 0, 1)
+    attacker.  Capture means reaching the source within the safety period
+    [1.5 × P{_src} × (∆ss + 1)].
 
-    Used by the bench harness to quantify the related-work comparison of
-    §II: capture ratio and message cost of routing-level SLP versus the
-    paper's MAC-level approach. *)
+    A thin adapter over {!Scenario}/{!Harness}; see {!scenario}.  Used by
+    the bench harness to quantify the related-work comparison of §II:
+    capture ratio and message cost of routing-level SLP versus the paper's
+    MAC-level approach. *)
 
 type config = {
   topology : Slpdas_wsn.Topology.t;
@@ -31,10 +33,28 @@ type result = {
   delta_ss : int;
 }
 
+val scenario :
+  config ->
+  ( Slpdas_core.Phantom.state,
+    Slpdas_core.Phantom.msg,
+    Scenario.Hunter.t,
+    result )
+  Scenario.t
+(** Package a config as a scenario value; the hunter's moves appear as
+    {!Slpdas_sim.Event.Attacker_move} on the engine's event bus. *)
+
 val run : config -> result
-(** Deterministic in [config]. *)
+(** [Harness.run (scenario config)].  Deterministic in [config]. *)
+
+val run_with_events : config -> result * Slpdas_sim.Event.counters
+(** Also return the run's aggregated event counters. *)
 
 val run_many : ?domains:int -> config list -> result list
 (** [List.map run] over a {!Slpdas_util.Pool} (default size: the hardware's
     recommended domain count); order-preserving and independent of
     [domains]. *)
+
+val run_many_with_events :
+  ?domains:int -> config list -> result list * Slpdas_sim.Event.counters
+(** Like {!run_many}, additionally merging every run's event counters in
+    input order; identical for every [domains] value. *)

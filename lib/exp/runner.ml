@@ -40,7 +40,14 @@ type result = {
   mean_latency_periods : float option;
 }
 
-let run ?(instrument = fun _ -> ()) config =
+type observation = {
+  attacker : Slpdas_core.Attacker.State.t;
+  capture_time : float option ref;
+  setup_messages : int ref;
+  extracted : Slpdas_core.Schedule.t option ref;
+}
+
+let scenario config =
   let topology = config.topology in
   let graph = topology.Slpdas_wsn.Topology.graph in
   let n = Slpdas_wsn.Graph.n graph in
@@ -63,112 +70,152 @@ let run ?(instrument = fun _ -> ()) config =
       (Slpdas_core.Safety.upper_time_bound ~nodes:n
          ~source_period:config.params.Params.source_period)
   in
-  let engine =
-    Slpdas_sim.Engine.create ?airtime:config.airtime ~topology ~link:config.link
-      ~rng:(Slpdas_util.Rng.create (config.seed lxor 0x5113_da5))
-      ~program:(Slpdas_core.Protocol.program protocol_config) ()
-  in
-  instrument engine;
-  let attacker = Slpdas_core.Attacker.State.create (config.attacker ~start:sink) in
-  let capture_time = ref None in
-  let setup_messages = ref 0 in
-  let check_capture () =
-    if !capture_time = None && Slpdas_core.Attacker.State.location attacker = source
-    then begin
-      capture_time := Some (Slpdas_sim.Engine.time engine -. normal_start);
-      Slpdas_sim.Engine.stop engine
-    end
-  in
-  (* The attacker eavesdrops every transmission audible from its position
-     once the source is active; with R captured messages it decides a move
-     (Fig. 1). *)
-  Slpdas_sim.Engine.on_broadcast engine (fun ~time ~sender msg ->
-      ignore msg;
-      if time >= normal_start && !capture_time = None then begin
-        let loc = Slpdas_core.Attacker.State.location attacker in
+  let attach engine =
+    let obs =
+      {
+        attacker =
+          Slpdas_core.Attacker.State.create (config.attacker ~start:sink);
+        capture_time = ref None;
+        setup_messages = ref 0;
+        extracted = ref None;
+      }
+    in
+    Slpdas_sim.Engine.emit engine
+      (Slpdas_sim.Event.Phase_transition { time = 0.0; phase = "setup" });
+    let check_capture () =
+      if
+        !(obs.capture_time) = None
+        && Slpdas_core.Attacker.State.location obs.attacker = source
+      then begin
+        obs.capture_time :=
+          Some (Slpdas_sim.Engine.time engine -. normal_start);
+        Slpdas_sim.Engine.stop engine
+      end
+    in
+    (* Flush a pending decision; on a move, publish it on the event bus. *)
+    let decide () =
+      let from_node = Slpdas_core.Attacker.State.location obs.attacker in
+      if Slpdas_core.Attacker.State.decide obs.attacker then begin
+        Slpdas_sim.Engine.emit engine
+          (Slpdas_sim.Event.Attacker_move
+             {
+               time = Slpdas_sim.Engine.time engine;
+               from_node;
+               to_node = Slpdas_core.Attacker.State.location obs.attacker;
+             });
+        check_capture ()
+      end
+    in
+    (* The attacker eavesdrops every transmission audible from its position
+       once the source is active; with R captured messages it decides a move
+       (Fig. 1). *)
+    Slpdas_sim.Engine.subscribe engine (function
+      | Slpdas_sim.Event.Broadcast { time; sender; msg = _ }
+        when time >= normal_start && !(obs.capture_time) = None ->
+        let loc = Slpdas_core.Attacker.State.location obs.attacker in
         if sender = loc || Slpdas_wsn.Graph.mem_edge graph loc sender then begin
           (* The slot argument is informational; arrival order carries the
              TDMA ordering. *)
           let slot =
             int_of_float ((time -. normal_start) /. protocol_config.slot_period)
           in
-          Slpdas_core.Attacker.State.hear attacker ~location:sender ~slot;
-          if Slpdas_core.Attacker.State.decide attacker then check_capture ()
+          Slpdas_core.Attacker.State.hear obs.attacker ~location:sender ~slot;
+          decide ()
         end
-      end);
-  (* Schedule/attacker bookkeeping at source activation and at each
-     subsequent period boundary. *)
-  let extracted = ref None in
-  let rec on_period engine_ =
-    if !extracted = None then
-      extracted :=
-        Some
-          (Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
-               Slpdas_sim.Engine.node_state engine_ v))
-    else begin
-      (* NextP of Fig. 1: flush a pending decision, then reset the budget. *)
-      if Slpdas_core.Attacker.State.decide attacker then check_capture ();
-      Slpdas_core.Attacker.State.period_end attacker
-    end;
-    if !setup_messages = 0 then
-      setup_messages := Slpdas_sim.Engine.broadcasts engine_;
-    let next = Slpdas_sim.Engine.time engine_ +. period_length in
-    if next <= deadline +. period_length then
-      Slpdas_sim.Engine.schedule engine_ ~at:next on_period
+      | _ -> ());
+    (* Schedule/attacker bookkeeping at source activation and at each
+       subsequent period boundary. *)
+    let rec on_period engine_ =
+      if !(obs.extracted) = None then begin
+        Slpdas_sim.Engine.emit engine_
+          (Slpdas_sim.Event.Phase_transition
+             { time = Slpdas_sim.Engine.time engine_; phase = "normal" });
+        obs.extracted :=
+          Some
+            (Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
+                 Slpdas_sim.Engine.node_state engine_ v))
+      end
+      else begin
+        (* NextP of Fig. 1: flush a pending decision, then reset the budget. *)
+        decide ();
+        Slpdas_core.Attacker.State.period_end obs.attacker
+      end;
+      if !(obs.setup_messages) = 0 then
+        obs.setup_messages := Slpdas_sim.Engine.broadcasts engine_;
+      let next = Slpdas_sim.Engine.time engine_ +. period_length in
+      if next <= deadline +. period_length then
+        Slpdas_sim.Engine.schedule engine_ ~at:next on_period
+    in
+    Slpdas_sim.Engine.schedule engine ~at:normal_start on_period;
+    obs
   in
-  Slpdas_sim.Engine.schedule engine ~at:normal_start on_period;
-  Slpdas_sim.Engine.run_until engine deadline;
-  let schedule =
-    match !extracted with
-    | Some s -> s
-    | None ->
-      Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
-          Slpdas_sim.Engine.node_state engine v)
+  let extract engine obs =
+    let schedule =
+      match !(obs.extracted) with
+      | Some s -> s
+      | None ->
+        Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
+            Slpdas_sim.Engine.node_state engine v)
+    in
+    let captured =
+      match !(obs.capture_time) with
+      | Some t -> t <= safety_seconds
+      | None -> false
+    in
+    let sink_state = Slpdas_sim.Engine.node_state engine sink in
+    let source_state = Slpdas_sim.Engine.node_state engine source in
+    let delivered_readings = sink_state.Slpdas_core.Protocol.delivered in
+    let generated_readings =
+      max 0 (source_state.Slpdas_core.Protocol.period_index + 1)
+    in
+    let latencies =
+      List.map
+        (fun (_, generation, arrival) -> float_of_int (arrival - generation))
+        delivered_readings
+    in
+    {
+      captured;
+      capture_seconds = !(obs.capture_time);
+      attacker_path = Slpdas_core.Attacker.State.path obs.attacker;
+      attacker_final = Slpdas_core.Attacker.State.location obs.attacker;
+      schedule;
+      strong_das = Slpdas_core.Das_check.is_strong graph schedule;
+      weak_das = Slpdas_core.Das_check.is_weak graph schedule;
+      complete = Slpdas_core.Schedule.complete schedule;
+      setup_messages = !(obs.setup_messages);
+      total_messages = Slpdas_sim.Engine.broadcasts engine;
+      broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
+      duration_seconds = Slpdas_sim.Engine.time engine;
+      safety_seconds;
+      delta_ss;
+      generated_readings;
+      delivered_readings;
+      delivery_ratio =
+        (if generated_readings = 0 then 0.0
+         else
+           float_of_int (List.length delivered_readings)
+           /. float_of_int generated_readings);
+      mean_latency_periods =
+        (match latencies with
+        | [] -> None
+        | _ -> Some (Slpdas_util.Stats.mean latencies));
+    }
   in
-  let captured =
-    match !capture_time with
-    | Some t -> t <= safety_seconds
-    | None -> false
-  in
-  let sink_state = Slpdas_sim.Engine.node_state engine sink in
-  let source_state = Slpdas_sim.Engine.node_state engine source in
-  let delivered_readings = sink_state.Slpdas_core.Protocol.delivered in
-  let generated_readings =
-    max 0 (source_state.Slpdas_core.Protocol.period_index + 1)
-  in
-  let latencies =
-    List.map
-      (fun (_, generation, arrival) -> float_of_int (arrival - generation))
-      delivered_readings
-  in
-  {
-    captured;
-    capture_seconds = !capture_time;
-    attacker_path = Slpdas_core.Attacker.State.path attacker;
-    attacker_final = Slpdas_core.Attacker.State.location attacker;
-    schedule;
-    strong_das = Slpdas_core.Das_check.is_strong graph schedule;
-    weak_das = Slpdas_core.Das_check.is_weak graph schedule;
-    complete = Slpdas_core.Schedule.complete schedule;
-    setup_messages = !setup_messages;
-    total_messages = Slpdas_sim.Engine.broadcasts engine;
-    broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
-    duration_seconds = Slpdas_sim.Engine.time engine;
-    safety_seconds;
-    delta_ss;
-    generated_readings;
-    delivered_readings;
-    delivery_ratio =
-      (if generated_readings = 0 then 0.0
-       else
-         float_of_int (List.length delivered_readings)
-         /. float_of_int generated_readings);
-    mean_latency_periods =
-      (match latencies with
-      | [] -> None
-      | _ -> Some (Slpdas_util.Stats.mean latencies));
-  }
+  Scenario.make
+    ~name:
+      (match config.mode with
+      | Slpdas_core.Protocol.Slp -> "slp-das"
+      | Slpdas_core.Protocol.Protectionless -> "protectionless-das")
+    ~airtime:config.airtime ~topology ~link:config.link
+    ~engine_seed:(config.seed lxor 0x5113_da5)
+    ~program:(Slpdas_core.Protocol.program protocol_config)
+    ~deadline ~attach ~extract ()
 
-let run_many ?domains configs =
-  Slpdas_util.Pool.with_pool ?domains (fun pool ->
-      Slpdas_util.Pool.map pool (fun config -> run config) configs)
+let run config = Harness.run (scenario config)
+
+let run_with_events config = Harness.run_with_events (scenario config)
+
+let run_many ?domains configs = Harness.run_many ?domains scenario configs
+
+let run_many_with_events ?domains configs =
+  Harness.run_many_with_events ?domains scenario configs

@@ -6,7 +6,14 @@
     1, and Phases 2–3 in SLP mode), extracts and checks the resulting
     schedule when the source activates at period MSP, then lets the attacker
     (starting at the sink, §VI-C) chase transmissions until it reaches the
-    source, the safety period expires, or the upper time bound is hit. *)
+    source, the safety period expires, or the upper time bound is hit.
+
+    This module is a thin adapter over the generic {!Scenario}/{!Harness}
+    pair: {!scenario} packages a [config] as a first-class scenario value and
+    the [run]/[run_many] entry points below delegate to {!Harness.run} and
+    {!Harness.run_many}.  The former [?instrument] callback is replaced by
+    {!Scenario.with_monitor} on the scenario value, which — unlike
+    [?instrument] — also works under parallel fan-out. *)
 
 type config = {
   topology : Slpdas_wsn.Topology.t;
@@ -58,16 +65,25 @@ type result = {
           slot inversions Phase 3 introduces can add periods *)
 }
 
-val run :
-  ?instrument:
-    ((Slpdas_core.Protocol.state, Slpdas_core.Messages.t) Slpdas_sim.Engine.t ->
-    unit) ->
+type observation
+(** Private per-run state built by the scenario's [attach] (attacker state,
+    capture/schedule probes). *)
+
+val scenario :
   config ->
-  result
-(** Execute one seeded run.  Deterministic: equal configs give equal
-    results.  [instrument] is called with the freshly created engine before
-    any event is processed — attach {!Slpdas_sim.Trace} recorders or extra
-    observers there. *)
+  (Slpdas_core.Protocol.state, Slpdas_core.Messages.t, observation, result)
+  Scenario.t
+(** Package a config as a scenario value.  Beyond the protocol traffic, the
+    run publishes {!Slpdas_sim.Event.Attacker_move} for every attacker move
+    and {!Slpdas_sim.Event.Phase_transition} at setup start ("setup") and
+    source activation ("normal") on the engine's event bus. *)
+
+val run : config -> result
+(** [Harness.run (scenario config)].  Deterministic: equal configs give
+    equal results. *)
+
+val run_with_events : config -> result * Slpdas_sim.Event.counters
+(** Also return the run's aggregated event counters. *)
 
 val run_many : ?domains:int -> config list -> result list
 (** [run_many configs] is [List.map run configs] fanned out over a
@@ -75,5 +91,10 @@ val run_many : ?domains:int -> config list -> result list
     recommended count).  Each run is fully determined by its config, so the
     result list is identical for every [domains] value — [~domains:1]
     executes sequentially in the calling domain and is bit-for-bit the
-    sequential behaviour.  [instrument] is not available here: engine hooks
-    are inherently per-run mutable state. *)
+    sequential behaviour. *)
+
+val run_many_with_events :
+  ?domains:int -> config list -> result list * Slpdas_sim.Event.counters
+(** Like {!run_many}, additionally merging every run's event counters in
+    input order ({!Slpdas_sim.Event.merge_all}); the merged aggregate is
+    identical for every [domains] value. *)

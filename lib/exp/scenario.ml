@@ -1,0 +1,86 @@
+type ('s, 'm, 'obs, 'r) t = {
+  name : string;
+  topology : Slpdas_wsn.Topology.t;
+  link : Slpdas_sim.Link_model.t;
+  airtime : float option;
+  engine_seed : int;
+  program : self:int -> ('s, 'm) Slpdas_gcn.program;
+  deadline : float;
+  attach : ('s, 'm) Slpdas_sim.Engine.t -> 'obs;
+  extract : ('s, 'm) Slpdas_sim.Engine.t -> 'obs -> 'r;
+  monitors : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
+}
+
+let make ?(airtime = None) ?(monitors = []) ~name ~topology ~link ~engine_seed
+    ~program ~deadline ~attach ~extract () =
+  {
+    name;
+    topology;
+    link;
+    airtime;
+    engine_seed;
+    program;
+    deadline;
+    attach;
+    extract;
+    monitors;
+  }
+
+let with_monitor monitor t = { t with monitors = t.monitors @ [ monitor ] }
+
+let map_result f t =
+  { t with extract = (fun engine obs -> f (t.extract engine obs)) }
+
+module Hunter = struct
+  type t = {
+    source : int;
+    mutable location : int;
+    mutable path_rev : int list;
+    acted : (int, unit) Hashtbl.t;
+    mutable capture_time : float option;
+  }
+
+  let attach ~start ~source ~message_id engine =
+    let graph =
+      (Slpdas_sim.Engine.topology engine).Slpdas_wsn.Topology.graph
+    in
+    let t =
+      {
+        source;
+        location = start;
+        path_rev = [ start ];
+        acted = Hashtbl.create 64;
+        capture_time = None;
+      }
+    in
+    Slpdas_sim.Engine.subscribe engine (function
+      | Slpdas_sim.Event.Broadcast { time; sender; msg } ->
+        if t.capture_time = None then begin
+          match message_id msg with
+          | Some id
+            when (not (Hashtbl.mem t.acted id))
+                 && (sender = t.location
+                    || Slpdas_wsn.Graph.mem_edge graph t.location sender) ->
+            Hashtbl.add t.acted id ();
+            if sender <> t.location then begin
+              Slpdas_sim.Engine.emit engine
+                (Slpdas_sim.Event.Attacker_move
+                   { time; from_node = t.location; to_node = sender });
+              t.location <- sender;
+              t.path_rev <- sender :: t.path_rev;
+              if sender = t.source then begin
+                t.capture_time <- Some time;
+                Slpdas_sim.Engine.stop engine
+              end
+            end
+          | Some _ | None -> ()
+        end
+      | _ -> ());
+    t
+
+  let location t = t.location
+
+  let path t = List.rev t.path_rev
+
+  let capture_time t = t.capture_time
+end

@@ -1,0 +1,98 @@
+(** An experiment scenario as a first-class value.
+
+    A scenario packages everything one seeded discrete-event run needs —
+    topology, per-node protocol program, link model, the attacker/observer
+    factory and the metric extractors — behind a single type that
+    {!Harness.run} executes generically.  The SLP-aware DAS protocol and the
+    phantom-routing and fake-source baselines are all expressed as scenario
+    builders ({!Runner.scenario}, {!Phantom_runner.scenario},
+    {!Fake_runner.scenario}); a new protocol plugs into every experiment
+    path (single runs, parallel sweeps, event/metric export) by providing
+    one more builder instead of copying a run loop.
+
+    Type parameters: ['s]/['m] are the protocol's per-node state and message
+    types (the engine's parameters); ['obs] is the scenario's private
+    observation state built by [attach] (attacker state, probe refs);
+    ['r] is the published result type. *)
+
+type ('s, 'm, 'obs, 'r) t = {
+  name : string;  (** for reports and event exports *)
+  topology : Slpdas_wsn.Topology.t;
+  link : Slpdas_sim.Link_model.t;
+  airtime : float option;
+      (** destructive-interference modelling (see {!Slpdas_sim.Engine.create}) *)
+  engine_seed : int;
+      (** seed for the engine's link-loss RNG, already salted per protocol
+          family so families draw independent streams from the same run seed *)
+  program : self:int -> ('s, 'm) Slpdas_gcn.program;
+  deadline : float;  (** absolute simulation time the run executes until *)
+  attach : ('s, 'm) Slpdas_sim.Engine.t -> 'obs;
+      (** attacker factory and harness wiring: subscribe observers on the
+          event bus, schedule control callbacks, and return the run's
+          mutable observation state.  Called once, on a freshly created
+          engine, after all [monitors]. *)
+  extract : ('s, 'm) Slpdas_sim.Engine.t -> 'obs -> 'r;
+      (** metric extractors: turn the final engine and observation state
+          into the published result.  Called after the run completes. *)
+  monitors : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
+      (** extra observers (trace recorders, probes), attached before
+          [attach] in list order.  Replaces the removed [?instrument]
+          callback of the old runners — and unlike it, works in
+          {!Harness.run_many} parallel fan-out, because the whole scenario
+          (monitors included) is built per run inside the worker. *)
+}
+
+val make :
+  ?airtime:float option ->
+  ?monitors:(('s, 'm) Slpdas_sim.Engine.t -> unit) list ->
+  name:string ->
+  topology:Slpdas_wsn.Topology.t ->
+  link:Slpdas_sim.Link_model.t ->
+  engine_seed:int ->
+  program:(self:int -> ('s, 'm) Slpdas_gcn.program) ->
+  deadline:float ->
+  attach:(('s, 'm) Slpdas_sim.Engine.t -> 'obs) ->
+  extract:(('s, 'm) Slpdas_sim.Engine.t -> 'obs -> 'r) ->
+  unit ->
+  ('s, 'm, 'obs, 'r) t
+
+val with_monitor :
+  (('s, 'm) Slpdas_sim.Engine.t -> unit) ->
+  ('s, 'm, 'obs, 'r) t ->
+  ('s, 'm, 'obs, 'r) t
+(** Append an observer, e.g. [with_monitor (fun e -> ignore (Trace.attach e
+    ~describe)) scenario].  Monitors must only observe (subscribe, record):
+    anything that queues engine events or injects triggers would perturb
+    the run. *)
+
+val map_result : ('r -> 'q) -> ('s, 'm, 'obs, 'r) t -> ('s, 'm, 'obs, 'q) t
+(** Post-compose the extractor — e.g. project a full result down to the
+    fields a sweep aggregates. *)
+
+(** The mobile "panda-hunter" eavesdropper shared by the routing-layer
+    baselines: one move per distinct message, to the sender of the first
+    transmission of that message it hears (it hears its own node and its
+    1-hop neighbours).  Stops the engine on reaching the source and emits
+    {!Slpdas_sim.Event.Attacker_move} for every move.  The MAC-layer DAS
+    scenarios use the richer {!Slpdas_core.Attacker} model instead. *)
+module Hunter : sig
+  type t
+
+  val attach :
+    start:int ->
+    source:int ->
+    message_id:('m -> int option) ->
+    ('s, 'm) Slpdas_sim.Engine.t ->
+    t
+  (** Subscribe the hunter on the engine's event bus.  [message_id]
+      identifies distinct protocol messages; transmissions without an id
+      (setup chatter) are ignored. *)
+
+  val location : t -> int
+
+  val path : t -> int list
+  (** Positions occupied, oldest first (starts with [start]). *)
+
+  val capture_time : t -> float option
+  (** Absolute simulation time at which the hunter reached the source. *)
+end

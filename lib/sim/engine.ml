@@ -18,10 +18,9 @@ and ('s, 'm) t = {
   timer_generations : (int * string, int) Hashtbl.t;
   mutable now : float;
   mutable next_seq : int;
-  observers : (time:float -> sender:int -> 'm -> unit) Queue.t;
-  mutable broadcast_count : int;
+  subscribers : ('m Event.t -> unit) Queue.t;
+  tally : Event.tally;
   broadcast_by_node : int array;
-  mutable delivery_count : int;
   mutable halted : bool;
   failed : bool array;
 }
@@ -37,15 +36,26 @@ let node_state t v = Slpdas_gcn.Instance.state t.instances.(v)
 
 let node_fired t v = Slpdas_gcn.Instance.fired t.instances.(v)
 
-(* A Queue keeps registration O(1) while preserving registration order; the
-   previous [l @ [f]] append was quadratic in the observer count. *)
-let on_broadcast t f = Queue.add f t.observers
+(* A Queue keeps registration O(1) while preserving registration order. *)
+let subscribe t f = Queue.add f t.subscribers
 
-let broadcasts t = t.broadcast_count
+let notify t ev = Queue.iter (fun f -> f ev) t.subscribers
+
+let emit t ev =
+  Event.record t.tally ev;
+  notify t ev
+
+(* The engine counts every event unconditionally (integer bumps); the event
+   value itself is only allocated when someone is listening. *)
+let listening t = not (Queue.is_empty t.subscribers)
+
+let counters t = Event.snapshot t.tally
+
+let broadcasts t = Event.tally_broadcasts t.tally
 
 let broadcasts_by_node t = Array.copy t.broadcast_by_node
 
-let deliveries t = t.delivery_count
+let deliveries t = Event.tally_deliveries t.tally
 
 let stop t = t.halted <- true
 
@@ -121,14 +131,22 @@ let rec apply_effects t node effects =
     (fun effect_ ->
       match (effect_ : 'm Slpdas_gcn.effect_) with
       | Slpdas_gcn.Broadcast msg ->
-        t.broadcast_count <- t.broadcast_count + 1;
+        Event.count_broadcast t.tally ~time:t.now;
         t.broadcast_by_node.(node) <- t.broadcast_by_node.(node) + 1;
         record_broadcast t node;
-        Queue.iter (fun f -> f ~time:t.now ~sender:node msg) t.observers;
+        if listening t then
+          notify t (Event.Broadcast { time = t.now; sender = node; msg });
         Array.iter
           (fun v ->
             if Link_model.delivered t.link t.rng ~distance_m:(distance t node v)
-            then push t ~at:(t.now +. propagation_delay) (Deliver { node = v; sender = node; msg }))
+            then push t ~at:(t.now +. propagation_delay) (Deliver { node = v; sender = node; msg })
+            else begin
+              Event.count_drop t.tally ~collision:false ~time:t.now;
+              if listening t then
+                notify t
+                  (Event.Drop
+                     { time = t.now; node = v; sender = node; collision = false })
+            end)
           (Slpdas_wsn.Graph.neighbours t.topology.Slpdas_wsn.Topology.graph node)
       | Slpdas_gcn.Set_timer { name; after } ->
         let generation = bump_timer_generation t node name in
@@ -162,10 +180,9 @@ let create ?airtime ~topology ~link ~rng ~program () =
       timer_generations = Hashtbl.create (4 * n);
       now = 0.0;
       next_seq = 0;
-      observers = Queue.create ();
-      broadcast_count = 0;
+      subscribers = Queue.create ();
+      tally = Event.tally_create ();
       broadcast_by_node = Array.make n 0;
-      delivery_count = 0;
       halted = false;
       failed = Array.make n false;
     }
@@ -177,12 +194,24 @@ let process t event =
   t.now <- event.at;
   match event.kind with
   | Timer_fire { node; timer; generation } ->
-    (* Stale fires (superseded by a later Set/Stop_timer) are dropped. *)
-    if generation = timer_generation t node timer then
+    (* Stale fires (superseded by a later Set/Stop_timer) are dropped
+       silently: they never reach the node, so they are not events. *)
+    if generation = timer_generation t node timer then begin
+      Event.count_timer_fire t.tally ~time:t.now;
+      if listening t then
+        notify t (Event.Timer_fire { time = t.now; node; timer });
       inject t ~node (Slpdas_gcn.Timeout timer)
+    end
   | Deliver { node; sender; msg } ->
-    if not (jammed t ~node ~sender ~tx_time:(t.now -. propagation_delay)) then begin
-      t.delivery_count <- t.delivery_count + 1;
+    if jammed t ~node ~sender ~tx_time:(t.now -. propagation_delay) then begin
+      Event.count_drop t.tally ~collision:true ~time:t.now;
+      if listening t then
+        notify t (Event.Drop { time = t.now; node; sender; collision = true })
+    end
+    else begin
+      Event.count_delivery t.tally ~time:t.now;
+      if listening t then
+        notify t (Event.Delivery { time = t.now; node; sender; msg });
       inject t ~node (Slpdas_gcn.Receive { sender; msg })
     end
   | Callback f -> f t

@@ -2,12 +2,17 @@
 
     The engine plays the role TOSSIM plays in the paper: it hosts one GCN
     program instance per node of a topology, delivers timer expirations and
-    radio messages as events, and exposes hooks for observers such as the
-    eavesdropping attacker and for harness-driven control events (TDMA round
-    boundaries, measurement probes).
+    radio messages as events, and publishes everything that happens on a
+    structured event bus ({!Event}) for observers such as the eavesdropping
+    attacker, trace recorders and metric collectors.  Harness-driven control
+    events (TDMA round boundaries, measurement probes) enter through
+    {!schedule} and {!inject}; harness-level occurrences (attacker moves,
+    phase transitions) can be published onto the same bus through {!emit}.
 
     Events are ordered by [(time, sequence number)], so runs are totally
     deterministic given the topology, the programs and the link-model RNG.
+    Subscribing observers never perturbs the run: notifications are
+    synchronous and queue nothing.
 
     Type parameters: ['s] is the per-node protocol state, ['m] the message
     type; all nodes run programs over the same state and message types. *)
@@ -48,11 +53,23 @@ val node_state : ('s, 'm) t -> int -> 's
 val node_fired : ('s, 'm) t -> int -> string list
 (** Action-name trace of a node, most recent first. *)
 
-val on_broadcast : ('s, 'm) t -> (time:float -> sender:int -> 'm -> unit) -> unit
-(** Register an observer invoked synchronously at every radio broadcast,
-    regardless of per-link delivery outcomes (an eavesdropper close to the
-    sender hears the transmission itself).  Used by the attacker and by
-    message-overhead metering. *)
+val subscribe : ('s, 'm) t -> ('m Event.t -> unit) -> unit
+(** Register an observer on the event bus, invoked synchronously (in
+    registration order) for every {!Event.t} the run produces: broadcasts,
+    deliveries, drops, timer fires, and any harness events published with
+    {!emit}.  This replaces the engine's former single [on_broadcast] hook;
+    an eavesdropper filters for [Event.Broadcast] (it hears transmissions
+    regardless of per-link delivery outcomes). *)
+
+val emit : ('s, 'm) t -> 'm Event.t -> unit
+(** Publish a harness-level event (attacker move, phase transition, …) to
+    all subscribers and count it in {!counters}.  Emission is synchronous
+    and does not enter the simulation queue, so it never affects protocol
+    execution. *)
+
+val counters : ('s, 'm) t -> Event.counters
+(** Always-on per-run aggregate of every event so far (including drops and
+    harness events), maintained whether or not anyone subscribed. *)
 
 val schedule : ('s, 'm) t -> at:float -> (('s, 'm) t -> unit) -> unit
 (** [schedule t ~at f] queues the harness callback [f] at absolute time

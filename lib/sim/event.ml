@@ -1,0 +1,198 @@
+type 'm t =
+  | Broadcast of { time : float; sender : int; msg : 'm }
+  | Delivery of { time : float; node : int; sender : int; msg : 'm }
+  | Drop of { time : float; node : int; sender : int; collision : bool }
+  | Timer_fire of { time : float; node : int; timer : string }
+  | Attacker_move of { time : float; from_node : int; to_node : int }
+  | Phase_transition of { time : float; phase : string }
+
+let time = function
+  | Broadcast { time; _ }
+  | Delivery { time; _ }
+  | Drop { time; _ }
+  | Timer_fire { time; _ }
+  | Attacker_move { time; _ }
+  | Phase_transition { time; _ } -> time
+
+let kind_name = function
+  | Broadcast _ -> "broadcast"
+  | Delivery _ -> "delivery"
+  | Drop { collision = false; _ } -> "drop-link"
+  | Drop { collision = true; _ } -> "drop-collision"
+  | Timer_fire _ -> "timer"
+  | Attacker_move _ -> "attacker-move"
+  | Phase_transition _ -> "phase"
+
+type counters = {
+  runs : int;
+  broadcasts : int;
+  deliveries : int;
+  drops_link : int;
+  drops_collision : int;
+  timer_fires : int;
+  attacker_moves : int;
+  phase_transitions : int;
+  first_event : float option;
+  last_event : float option;
+}
+
+let empty =
+  {
+    runs = 0;
+    broadcasts = 0;
+    deliveries = 0;
+    drops_link = 0;
+    drops_collision = 0;
+    timer_fires = 0;
+    attacker_moves = 0;
+    phase_transitions = 0;
+    first_event = None;
+    last_event = None;
+  }
+
+let total c =
+  c.broadcasts + c.deliveries + c.drops_link + c.drops_collision
+  + c.timer_fires + c.attacker_moves + c.phase_transitions
+
+let omin a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+let omax a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.max a b)
+
+(* Every field combiner is associative and commutative, so any grouping of
+   per-worker partial merges gives the same aggregate; the harness merges in
+   input order for definiteness. *)
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    broadcasts = a.broadcasts + b.broadcasts;
+    deliveries = a.deliveries + b.deliveries;
+    drops_link = a.drops_link + b.drops_link;
+    drops_collision = a.drops_collision + b.drops_collision;
+    timer_fires = a.timer_fires + b.timer_fires;
+    attacker_moves = a.attacker_moves + b.attacker_moves;
+    phase_transitions = a.phase_transitions + b.phase_transitions;
+    first_event = omin a.first_event b.first_event;
+    last_event = omax a.last_event b.last_event;
+  }
+
+let merge_all cs = List.fold_left merge empty cs
+
+type tally = {
+  mutable t_broadcasts : int;
+  mutable t_deliveries : int;
+  mutable t_drops_link : int;
+  mutable t_drops_collision : int;
+  mutable t_timer_fires : int;
+  mutable t_attacker_moves : int;
+  mutable t_phase_transitions : int;
+  mutable t_first_event : float option;
+  mutable t_last_event : float option;
+}
+
+let tally_create () =
+  {
+    t_broadcasts = 0;
+    t_deliveries = 0;
+    t_drops_link = 0;
+    t_drops_collision = 0;
+    t_timer_fires = 0;
+    t_attacker_moves = 0;
+    t_phase_transitions = 0;
+    t_first_event = None;
+    t_last_event = None;
+  }
+
+let touch ta time =
+  (match ta.t_first_event with
+  | None -> ta.t_first_event <- Some time
+  | Some f -> if time < f then ta.t_first_event <- Some time);
+  match ta.t_last_event with
+  | None -> ta.t_last_event <- Some time
+  | Some l -> if time > l then ta.t_last_event <- Some time
+
+(* Count without allocating an event value: the engine's hot paths call
+   these directly and only build the event record when subscribers exist. *)
+let count_broadcast ta ~time =
+  ta.t_broadcasts <- ta.t_broadcasts + 1;
+  touch ta time
+
+let count_delivery ta ~time =
+  ta.t_deliveries <- ta.t_deliveries + 1;
+  touch ta time
+
+let count_drop ta ~collision ~time =
+  if collision then ta.t_drops_collision <- ta.t_drops_collision + 1
+  else ta.t_drops_link <- ta.t_drops_link + 1;
+  touch ta time
+
+let count_timer_fire ta ~time =
+  ta.t_timer_fires <- ta.t_timer_fires + 1;
+  touch ta time
+
+let record ta = function
+  | Broadcast { time; _ } -> count_broadcast ta ~time
+  | Delivery { time; _ } -> count_delivery ta ~time
+  | Drop { time; collision; _ } -> count_drop ta ~collision ~time
+  | Timer_fire { time; _ } -> count_timer_fire ta ~time
+  | Attacker_move { time; _ } ->
+    ta.t_attacker_moves <- ta.t_attacker_moves + 1;
+    touch ta time
+  | Phase_transition { time; _ } ->
+    ta.t_phase_transitions <- ta.t_phase_transitions + 1;
+    touch ta time
+
+let tally_broadcasts ta = ta.t_broadcasts
+
+let tally_deliveries ta = ta.t_deliveries
+
+let snapshot ta =
+  {
+    runs = 1;
+    broadcasts = ta.t_broadcasts;
+    deliveries = ta.t_deliveries;
+    drops_link = ta.t_drops_link;
+    drops_collision = ta.t_drops_collision;
+    timer_fires = ta.t_timer_fires;
+    attacker_moves = ta.t_attacker_moves;
+    phase_transitions = ta.t_phase_transitions;
+    first_event = ta.t_first_event;
+    last_event = ta.t_last_event;
+  }
+
+let to_json c =
+  let b = Buffer.create 256 in
+  let field name v = Printf.bprintf b "  %S: %d,\n" name v in
+  Buffer.add_string b "{\n";
+  field "runs" c.runs;
+  field "broadcasts" c.broadcasts;
+  field "deliveries" c.deliveries;
+  field "drops_link" c.drops_link;
+  field "drops_collision" c.drops_collision;
+  field "timer_fires" c.timer_fires;
+  field "attacker_moves" c.attacker_moves;
+  field "phase_transitions" c.phase_transitions;
+  field "total_events" (total c);
+  let time_field name v =
+    Printf.bprintf b "  %S: %s" name
+      (match v with None -> "null" | Some t -> Printf.sprintf "%.6f" t)
+  in
+  time_field "first_event_s" c.first_event;
+  Buffer.add_string b ",\n";
+  time_field "last_event_s" c.last_event;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>runs %d: %d broadcasts, %d deliveries, %d drops (%d link, %d \
+     collision), %d timer fires, %d attacker moves, %d phase transitions@]"
+    c.runs c.broadcasts c.deliveries
+    (c.drops_link + c.drops_collision)
+    c.drops_link c.drops_collision c.timer_fires c.attacker_moves
+    c.phase_transitions

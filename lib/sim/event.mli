@@ -1,0 +1,99 @@
+(** Structured simulation events and deterministic per-run metrics.
+
+    The engine's observability surface: instead of a single broadcast hook,
+    every notable occurrence — radio transmissions, per-link deliveries,
+    losses (link model or destructive interference), timer fires, and
+    harness-level occurrences such as attacker moves and protocol phase
+    transitions — is a typed event on one bus ({!Engine.subscribe}).
+
+    Alongside the stream, every engine keeps an always-on {!counters}
+    aggregate that is cheap enough for production runs, survives
+    {!Slpdas_exp.Harness.run_many} fan-out (each run aggregates locally;
+    aggregates {!merge} deterministically in input order), and exports as
+    JSON for the CLI and bench. *)
+
+type 'm t =
+  | Broadcast of { time : float; sender : int; msg : 'm }
+      (** A radio transmission, regardless of per-link delivery outcomes
+          (an eavesdropper near the sender hears the transmission itself). *)
+  | Delivery of { time : float; node : int; sender : int; msg : 'm }
+      (** A successful reception at [node]. *)
+  | Drop of { time : float; node : int; sender : int; collision : bool }
+      (** A lost reception: [collision = false] means the link model refused
+          delivery at transmission time; [collision = true] means airtime
+          interference jammed it at arrival time. *)
+  | Timer_fire of { time : float; node : int; timer : string }
+      (** A non-stale timer expiration delivered to its node. *)
+  | Attacker_move of { time : float; from_node : int; to_node : int }
+      (** Emitted by the experiment harness when the eavesdropper moves. *)
+  | Phase_transition of { time : float; phase : string }
+      (** Emitted by the experiment harness at protocol phase boundaries. *)
+
+val time : 'm t -> float
+
+val kind_name : 'm t -> string
+(** Stable lowercase tag, e.g. ["broadcast"], ["drop-collision"]. *)
+
+(** {1 Aggregates} *)
+
+type counters = {
+  runs : int;  (** engine runs aggregated into this value *)
+  broadcasts : int;
+  deliveries : int;
+  drops_link : int;
+  drops_collision : int;
+  timer_fires : int;
+  attacker_moves : int;
+  phase_transitions : int;
+  first_event : float option;  (** earliest event time over all runs *)
+  last_event : float option;  (** latest event time over all runs *)
+}
+
+val empty : counters
+
+val total : counters -> int
+(** Sum of all event counts. *)
+
+val merge : counters -> counters -> counters
+(** Field-wise aggregation (sums; min/max for the time bounds).  Associative
+    and commutative, so per-worker partial merges followed by an input-order
+    fold give the same result as any sequential aggregation — the property
+    that makes counters from parallel [run_many] byte-identical to the
+    sequential run's. *)
+
+val merge_all : counters list -> counters
+(** Left fold of {!merge} over {!empty}, in list order. *)
+
+val to_json : counters -> string
+(** Render as a self-contained JSON object (counts plus first/last event
+    times in seconds, [null] when no event occurred). *)
+
+val pp : Format.formatter -> counters -> unit
+
+(** {1 Per-run accumulation (used by the engine)} *)
+
+type tally
+(** Mutable single-run accumulator behind {!Engine.counters}. *)
+
+val tally_create : unit -> tally
+
+val record : tally -> 'm t -> unit
+(** Count one event. *)
+
+val count_broadcast : tally -> time:float -> unit
+(** Allocation-free fast paths for the engine's hot loop; equivalent to
+    {!record} of the corresponding event. *)
+
+val count_delivery : tally -> time:float -> unit
+
+val count_drop : tally -> collision:bool -> time:float -> unit
+
+val count_timer_fire : tally -> time:float -> unit
+
+val tally_broadcasts : tally -> int
+(** Current broadcast count, without snapshotting. *)
+
+val tally_deliveries : tally -> int
+
+val snapshot : tally -> counters
+(** Immutable copy with [runs = 1]. *)

@@ -9,12 +9,14 @@ type t = {
 let attach ?(capacity = 10_000) engine ~describe =
   if capacity <= 0 then invalid_arg "Trace.attach: capacity must be positive";
   let t = { capacity; entries = Queue.create (); dropped = 0 } in
-  Engine.on_broadcast engine (fun ~time ~sender msg ->
+  Engine.subscribe engine (function
+    | Event.Broadcast { time; sender; msg } ->
       Queue.add { time; sender; label = describe msg } t.entries;
       if Queue.length t.entries > t.capacity then begin
         ignore (Queue.pop t.entries);
         t.dropped <- t.dropped + 1
-      end);
+      end
+    | _ -> ());
   t
 
 let entries t = List.of_seq (Queue.to_seq t.entries)
@@ -23,8 +25,13 @@ let length t = Queue.length t.entries
 
 let dropped t = t.dropped
 
+(* Filter the queue's sequence directly: no intermediate list of the whole
+   log is built, only the selected window. *)
 let between t ~since ~until =
-  List.filter (fun e -> e.time >= since && e.time < until) (entries t)
+  List.of_seq
+    (Seq.filter
+       (fun e -> e.time >= since && e.time < until)
+       (Queue.to_seq t.entries))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

@@ -1,9 +1,12 @@
 (** Broadcast trace recording.
 
-    Attaches to an engine's broadcast hook and keeps a bounded log of who
-    transmitted what and when — the message-timeline view TOSSIM users get
-    from its debug channels.  Used by the CLI's [simulate --trace] and by
-    tests that assert on transmission timelines. *)
+    {b Deprecated} in favour of the structured event bus: subscribe to the
+    engine with {!Engine.subscribe} and match on [Event.Broadcast] (and any
+    other event kinds you care about — deliveries, drops, timer fires,
+    attacker moves) instead of recording a string-labelled broadcast log.
+    This module remains as a convenience for bounded human-readable
+    timelines and is itself implemented on the bus; it records broadcasts
+    only and will not grow further. *)
 
 type entry = {
   time : float;

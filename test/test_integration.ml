@@ -82,15 +82,16 @@ let test_pipeline_unit_disk_topology () =
 let test_trace_matches_message_counter () =
   let topo = Topology.grid 5 in
   let trace = ref None in
-  let r =
-    Runner.run
-      ~instrument:(fun engine ->
+  let scenario =
+    Slpdas_exp.Scenario.with_monitor
+      (fun engine ->
         trace :=
           Some
             (Slpdas_sim.Trace.attach ~capacity:1_000_000 engine
                ~describe:Slpdas_core.Messages.describe))
-      (runner_config ~seed:2 topo)
+      (Runner.scenario (runner_config ~seed:2 topo))
   in
+  let r = Slpdas_exp.Harness.run scenario in
   match !trace with
   | None -> Alcotest.fail "trace not attached"
   | Some t ->

@@ -300,10 +300,10 @@ let test_normal_phase_transmissions_follow_slots () =
   let normal_start = Protocol.normal_start config in
   let period = Protocol.period_length config in
   let data_times = ref [] in
-  Engine.on_broadcast engine (fun ~time ~sender msg ->
-      match msg with
-      | Messages.Data _ -> data_times := (sender, time) :: !data_times
-      | _ -> ());
+  Engine.subscribe engine (function
+    | Slpdas_sim.Event.Broadcast { time; sender; msg = Messages.Data _ } ->
+      data_times := (sender, time) :: !data_times
+    | _ -> ());
   (* Run through two full data periods. *)
   Engine.run_until engine (normal_start +. (2.0 *. period));
   let schedule = extract config engine in
@@ -344,10 +344,11 @@ let test_sink_never_transmits_data () =
       ~program:(Protocol.program config) ()
   in
   let sink_data = ref 0 in
-  Engine.on_broadcast engine (fun ~time:_ ~sender msg ->
-      match msg with
-      | Messages.Data _ when sender = topo.Topology.sink -> incr sink_data
-      | _ -> ());
+  Engine.subscribe engine (function
+    | Slpdas_sim.Event.Broadcast { sender; msg = Messages.Data _; _ }
+      when sender = topo.Topology.sink ->
+      incr sink_data
+    | _ -> ());
   Engine.run_until engine (Protocol.normal_start config +. 10.0);
   Alcotest.(check int) "sink silent in data phase" 0 !sink_data
 

@@ -92,9 +92,9 @@ let test_broadcasts_by_node () =
 let test_observer_sees_all_broadcasts () =
   let e = make_engine ~dim:3 () in
   let seen = ref [] in
-  Engine.on_broadcast e (fun ~time:_ ~sender msg ->
-      ignore msg;
-      seen := sender :: !seen);
+  Engine.subscribe e (function
+    | Slpdas_sim.Event.Broadcast { sender; _ } -> seen := sender :: !seen
+    | _ -> ());
   Engine.run_until e 10.0;
   Alcotest.(check (list int)) "all senders observed"
     (List.init 9 Fun.id)
@@ -102,7 +102,9 @@ let test_observer_sees_all_broadcasts () =
 
 let test_stop_halts_run () =
   let e = make_engine () in
-  Engine.on_broadcast e (fun ~time:_ ~sender:_ _ -> Engine.stop e);
+  Engine.subscribe e (function
+    | Slpdas_sim.Event.Broadcast _ -> Engine.stop e
+    | _ -> ());
   Engine.run_until e 10.0;
   Alcotest.(check bool) "stopped" true (Engine.stopped e);
   Alcotest.(check int) "halted after first broadcast" 1 (Engine.broadcasts e)
@@ -333,6 +335,129 @@ let test_trace_between () =
     (List.length (Slpdas_sim.Trace.between trace ~since:1.0 ~until:10.0))
 
 (* ------------------------------------------------------------------ *)
+(* Event bus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Event = Slpdas_sim.Event
+
+let test_counters_track_broadcasts_and_deliveries () =
+  let e = make_engine ~dim:3 () in
+  Engine.run_until e 10.0;
+  let c = Engine.counters e in
+  Alcotest.(check int) "runs" 1 c.Event.runs;
+  Alcotest.(check int) "broadcasts" (Engine.broadcasts e) c.Event.broadcasts;
+  Alcotest.(check int) "deliveries" (Engine.deliveries e) c.Event.deliveries;
+  Alcotest.(check int) "no link drops on ideal" 0 c.Event.drops_link;
+  Alcotest.(check int) "no collisions without airtime" 0 c.Event.drops_collision;
+  (* One "go" timer on node 0 drives the whole flood. *)
+  Alcotest.(check int) "timer fires" 1 c.Event.timer_fires;
+  (match c.Event.first_event with
+  | Some t -> Alcotest.(check (float 1e-9)) "first event at the timer" 1.0 t
+  | None -> Alcotest.fail "no first_event");
+  Alcotest.(check bool) "last event recorded" true (c.Event.last_event <> None)
+
+let test_lossy_drops_counted () =
+  let e = make_engine ~dim:3 ~link:(Link_model.Lossy 0.5) () in
+  Engine.run_until e 20.0;
+  let c = Engine.counters e in
+  (* Under the ideal radio every broadcast would reach each neighbour, so
+     attempts = deliveries + link drops exactly. *)
+  let attempts =
+    let topo = Engine.topology e in
+    let g = topo.Topology.graph in
+    Array.to_list (Engine.broadcasts_by_node e)
+    |> List.mapi (fun v count ->
+           count * Array.length (Slpdas_wsn.Graph.neighbours g v))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "deliveries + drops = attempts" attempts
+    (c.Event.deliveries + c.Event.drops_link);
+  Alcotest.(check bool) "some drops at p=0.5" true (c.Event.drops_link > 0)
+
+let test_collision_drops_counted () =
+  (* Simultaneous neighbours under airtime: both transmissions jam node 1. *)
+  let topology = Topology.line 3 in
+  let e =
+    Engine.create ~airtime:0.002 ~topology ~link:Link_model.Ideal
+      ~rng:(Rng.create 1)
+      ~program:(fun ~self -> two_senders_program ~at0:1.0 ~at2:1.0 ~self)
+      ()
+  in
+  Engine.run_until e 10.0;
+  let c = (Engine.counters e : Event.counters) in
+  Alcotest.(check int) "both arrivals jammed" 2 c.Event.drops_collision;
+  Alcotest.(check int) "no ordinary drops" 0 c.Event.drops_link
+
+let test_subscribers_see_drops () =
+  let e = make_engine ~dim:3 ~link:(Link_model.Lossy 0.5) () in
+  let drops = ref 0 in
+  Engine.subscribe e (function
+    | Event.Drop { collision = false; _ } -> incr drops
+    | _ -> ());
+  Engine.run_until e 20.0;
+  Alcotest.(check int) "subscriber count matches tally" !drops
+    (Engine.counters e).Event.drops_link
+
+let test_emit_reaches_subscribers_and_counters () =
+  let e = make_engine ~dim:3 () in
+  let heard = ref [] in
+  Engine.subscribe e (fun ev -> heard := Event.kind_name ev :: !heard);
+  Engine.emit e (Event.Phase_transition { time = 0.0; phase = "setup" });
+  Engine.emit e (Event.Attacker_move { time = 0.5; from_node = 0; to_node = 1 });
+  let c = Engine.counters e in
+  Alcotest.(check (list string)) "subscriber saw both"
+    [ "phase"; "attacker-move" ]
+    (List.rev !heard);
+  Alcotest.(check int) "phase transitions" 1 c.Event.phase_transitions;
+  Alcotest.(check int) "attacker moves" 1 c.Event.attacker_moves
+
+let test_emit_does_not_perturb_run () =
+  (* emit is notify-only: a run with harness events interleaved is
+     bit-for-bit the run without them. *)
+  let run ~noisy =
+    let e = make_engine ~dim:3 () in
+    if noisy then
+      Engine.subscribe e (function
+        | Event.Broadcast { time; sender; _ } ->
+          Engine.emit e
+            (Event.Attacker_move { time; from_node = sender; to_node = sender })
+        | _ -> ());
+    Engine.run_until e 10.0;
+    (Engine.broadcasts e, Engine.deliveries e, Engine.time e)
+  in
+  Alcotest.(check (triple int int (float 1e-9)))
+    "identical" (run ~noisy:false) (run ~noisy:true)
+
+let test_counters_merge () =
+  let e1 = make_engine ~dim:3 () in
+  Engine.run_until e1 10.0;
+  let e2 = make_engine ~dim:5 () in
+  Engine.run_until e2 10.0;
+  let c1 = Engine.counters e1 and c2 = Engine.counters e2 in
+  let m = Event.merge c1 c2 in
+  Alcotest.(check int) "runs add" 2 m.Event.runs;
+  Alcotest.(check int) "broadcasts add" (c1.Event.broadcasts + c2.Event.broadcasts)
+    m.Event.broadcasts;
+  Alcotest.(check bool) "merge commutes" true (Event.merge c2 c1 = m);
+  Alcotest.(check bool) "empty is identity" true (Event.merge Event.empty c1 = c1);
+  Alcotest.(check bool) "merge_all folds" true (Event.merge_all [ c1; c2 ] = m)
+
+let test_counters_to_json () =
+  let e = make_engine ~dim:3 () in
+  Engine.run_until e 10.0;
+  let json = Event.to_json (Engine.counters e) in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json mentions %s" needle) true
+        (contains needle))
+    [ "\"broadcasts\""; "\"deliveries\""; "\"drops_link\""; "\"runs\"" ]
+
+(* ------------------------------------------------------------------ *)
 (* Failure injection                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,6 +585,22 @@ let () =
           Alcotest.test_case "records broadcasts" `Quick test_trace_records_broadcasts;
           Alcotest.test_case "capacity" `Quick test_trace_capacity;
           Alcotest.test_case "between" `Quick test_trace_between;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "counters track run" `Quick
+            test_counters_track_broadcasts_and_deliveries;
+          Alcotest.test_case "lossy drops counted" `Quick test_lossy_drops_counted;
+          Alcotest.test_case "collision drops counted" `Quick
+            test_collision_drops_counted;
+          Alcotest.test_case "subscribers see drops" `Quick
+            test_subscribers_see_drops;
+          Alcotest.test_case "emit" `Quick
+            test_emit_reaches_subscribers_and_counters;
+          Alcotest.test_case "emit does not perturb" `Quick
+            test_emit_does_not_perturb_run;
+          Alcotest.test_case "merge" `Quick test_counters_merge;
+          Alcotest.test_case "to_json" `Quick test_counters_to_json;
         ] );
       ( "failures",
         [

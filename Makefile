@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke bench-determinism clean
 
 build:
 	dune build @all
@@ -17,6 +17,15 @@ bench:
 # BENCH_micro.json) still runs.
 bench-smoke:
 	BENCH_FAST=1 BENCH_RUNS=2 dune exec bench/main.exe
+
+# Determinism check: with BENCH_MICRO=0 (no timing sections) stdout is
+# seed-determined, so two full-DES passes at different domain counts must
+# diff clean.
+bench-determinism:
+	BENCH_RUNS=2 BENCH_MICRO=0 BENCH_DOMAINS=1 dune exec bench/main.exe > _build/bench_d1.out
+	BENCH_RUNS=2 BENCH_MICRO=0 BENCH_DOMAINS=2 dune exec bench/main.exe > _build/bench_d2.out
+	diff -u _build/bench_d1.out _build/bench_d2.out
+	@echo "bench stdout byte-identical for BENCH_DOMAINS=1 and 2"
 
 clean:
 	dune clean

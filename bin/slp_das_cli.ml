@@ -285,30 +285,31 @@ let simulate_cmd =
         Slpdas_exp.Runner.params = params_of ~sd ~gap;
       }
     in
-    let trace = ref None in
+    (* Keep only the first [trace_count] transmissions: that is all the
+       report prints. *)
+    let trace = ref [] in
     let scenario =
       let s = Slpdas_exp.Runner.scenario config in
       if trace_count > 0 then
         Slpdas_exp.Scenario.with_monitor
           (fun engine ->
-            trace :=
-              Some
-                (Slpdas_sim.Trace.attach ~capacity:1_000_000 engine
-                   ~describe:Slpdas_core.Messages.describe))
+            Slpdas_sim.Engine.subscribe engine (function
+              | Slpdas_sim.Event.Broadcast { time; sender; msg }
+                when List.length !trace < trace_count ->
+                trace :=
+                  (time, sender, Slpdas_core.Messages.describe msg) :: !trace
+              | _ -> ()))
           s
       else s
     in
     let r, counters = Slpdas_exp.Harness.run_with_events scenario in
-    (match !trace with
-    | Some t ->
+    if trace_count > 0 then begin
       Format.printf "first %d transmissions:@." trace_count;
-      List.iteri
-        (fun i e ->
-          if i < trace_count then
-            Format.printf "  %8.3f  node %-4d %s@." e.Slpdas_sim.Trace.time
-              e.Slpdas_sim.Trace.sender e.Slpdas_sim.Trace.label)
-        (Slpdas_sim.Trace.entries t)
-    | None -> ());
+      List.iter
+        (fun (time, sender, label) ->
+          Format.printf "  %8.3f  node %-4d %s@." time sender label)
+        (List.rev !trace)
+    end;
     Format.printf "mode: %s; seed %d; dss=%d; safety period %.1fs@."
       (if slp then "SLP DAS" else "protectionless DAS")
       seed r.Slpdas_exp.Runner.delta_ss r.Slpdas_exp.Runner.safety_seconds;

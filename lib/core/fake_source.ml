@@ -56,12 +56,18 @@ let real_id seq = 2 * seq
 
 let fake_id ~self seq = (2 * ((self * 1_000_000) + seq)) + 1
 
-let flood_timer id = "fwd-" ^ string_of_int id
+let hello_timer = Slpdas_gcn.Timer.intern "hello"
+
+let gen_timer = Slpdas_gcn.Timer.intern "gen"
+
+let fake_timer = Slpdas_gcn.Timer.intern "fake"
+
+let flood_timer id = Slpdas_gcn.Timer.intern ("fwd-" ^ string_of_int id)
 
 let start_flood s ~id ~fake =
   ignore fake;
   ( { s with seen = Int_set.add id s.seen },
-    [ Slpdas_gcn.Set_timer { name = flood_timer id; after = s.config.hop_delay } ]
+    [ Slpdas_gcn.Set_timer { timer = flood_timer id; after = s.config.hop_delay } ]
   )
 
 let program config ~self:_ =
@@ -83,10 +89,10 @@ let program config ~self:_ =
         hello_remaining = 3;
       }
     in
-    let effects = [ Slpdas_gcn.Set_timer { name = "hello"; after = 0.5 } ] in
+    let effects = [ Slpdas_gcn.Set_timer { timer = hello_timer; after = 0.5 } ] in
     let effects =
       if self = config.source then
-        Slpdas_gcn.Set_timer { name = "gen"; after = config.start_time }
+        Slpdas_gcn.Set_timer { timer = gen_timer; after = config.start_time }
         :: effects
       else effects
     in
@@ -95,7 +101,8 @@ let program config ~self:_ =
         (* Decoys start with an individual phase offset so their floods do
            not all collide with the real source's. *)
         let offset = Slpdas_util.Rng.float rng config.fake_period in
-        Slpdas_gcn.Set_timer { name = "fake"; after = config.start_time +. offset }
+        Slpdas_gcn.Set_timer
+          { timer = fake_timer; after = config.start_time +. offset }
         :: effects
       end
       else effects
@@ -113,13 +120,15 @@ let program config ~self:_ =
         handler =
           (fun ~self:_ s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout "hello" when s.hello_remaining > 0 ->
+            | Slpdas_gcn.Timeout t
+              when Slpdas_gcn.Timer.equal t hello_timer && s.hello_remaining > 0
+              ->
               Some
                 ( { s with hello_remaining = s.hello_remaining - 1 },
                   Slpdas_gcn.Broadcast Hello
                   ::
                   (if s.hello_remaining > 1 then
-                     [ Slpdas_gcn.Set_timer { name = "hello"; after = 1.0 } ]
+                     [ Slpdas_gcn.Set_timer { timer = hello_timer; after = 1.0 } ]
                    else []) )
             | _ -> None);
       };
@@ -128,7 +137,7 @@ let program config ~self:_ =
         handler =
           (fun ~self:_ s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout "gen" ->
+            | Slpdas_gcn.Timeout t when Slpdas_gcn.Timer.equal t gen_timer ->
               let id = real_id s.next_real in
               let s = { s with next_real = s.next_real + 1 } in
               let s, effects = start_flood s ~id ~fake:false in
@@ -137,7 +146,7 @@ let program config ~self:_ =
                   effects
                   @ [
                       Slpdas_gcn.Set_timer
-                        { name = "gen"; after = s.config.source_period };
+                        { timer = gen_timer; after = s.config.source_period };
                     ] )
             | _ -> None);
       };
@@ -146,7 +155,7 @@ let program config ~self:_ =
         handler =
           (fun ~self s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout "fake" ->
+            | Slpdas_gcn.Timeout t when Slpdas_gcn.Timer.equal t fake_timer ->
               let id = fake_id ~self s.next_fake in
               let s = { s with next_fake = s.next_fake + 1 } in
               let s, effects = start_flood s ~id ~fake:true in
@@ -155,7 +164,7 @@ let program config ~self:_ =
                   effects
                   @ [
                       Slpdas_gcn.Set_timer
-                        { name = "fake"; after = s.config.fake_period };
+                        { timer = fake_timer; after = s.config.fake_period };
                     ] )
             | _ -> None);
       };
@@ -164,7 +173,10 @@ let program config ~self:_ =
         handler =
           (fun ~self:_ s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout name when String.length name > 4 && String.sub name 0 4 = "fwd-" ->
+            | Slpdas_gcn.Timeout t
+              when (let name = Slpdas_gcn.Timer.name t in
+                    String.length name > 4 && String.sub name 0 4 = "fwd-") ->
+              let name = Slpdas_gcn.Timer.name t in
               let id = int_of_string (String.sub name 4 (String.length name - 4)) in
               Some (s, [ Slpdas_gcn.Broadcast (Flood { id; fake = id land 1 = 1 }) ])
             | _ -> None);

@@ -57,14 +57,18 @@ let deliver_at_sink s id =
   if Int_set.mem id s.seen then s
   else { s with seen = Int_set.add id s.seen; received = id :: s.received }
 
-let walk_timer id = "walk-" ^ string_of_int id
+let hello_timer = Slpdas_gcn.Timer.intern "hello"
 
-let flood_timer id = "fwd-" ^ string_of_int id
+let gen_timer = Slpdas_gcn.Timer.intern "gen"
+
+let walk_timer id = Slpdas_gcn.Timer.intern ("walk-" ^ string_of_int id)
+
+let flood_timer id = Slpdas_gcn.Timer.intern ("fwd-" ^ string_of_int id)
 
 (* Schedule our (re)broadcast of flood [id] after the hop delay. *)
 let start_flood s id =
   ( { s with seen = Int_set.add id s.seen },
-    [ Slpdas_gcn.Set_timer { name = flood_timer id; after = s.config.hop_delay } ]
+    [ Slpdas_gcn.Set_timer { timer = flood_timer id; after = s.config.hop_delay } ]
   )
 
 (* Does moving from [self] to [v] advance in direction [dir]? *)
@@ -108,7 +112,7 @@ let continue_walk s ~self ~id ~ttl ~dir =
           s with
           pending_walks = Int_map.add id (next, ttl - 1, dir) s.pending_walks;
         },
-        [ Slpdas_gcn.Set_timer { name = walk_timer id; after = s.config.hop_delay } ]
+        [ Slpdas_gcn.Set_timer { timer = walk_timer id; after = s.config.hop_delay } ]
       )
   end
 
@@ -116,7 +120,7 @@ let on_generate ~self s =
   let id = s.next_id in
   let s = { s with next_id = id + 1 } in
   let rearm =
-    Slpdas_gcn.Set_timer { name = "gen"; after = s.config.source_period }
+    Slpdas_gcn.Set_timer { timer = gen_timer; after = s.config.source_period }
   in
   let angle = Slpdas_util.Rng.float s.rng (2.0 *. Float.pi) in
   let dir = (cos angle, sin angle) in
@@ -143,7 +147,8 @@ let on_receive ~self s ~sender msg =
     else if self = s.config.sink then (deliver_at_sink s id, [])
     else start_flood s id
 
-let on_timeout ~self:_ s name =
+let on_timeout ~self:_ s timer =
+  let name = Slpdas_gcn.Timer.name timer in
   match String.index_opt name '-' with
   | None -> None
   | Some i ->
@@ -178,10 +183,10 @@ let program config ~self:_ =
       }
     in
     let effects =
-      [ Slpdas_gcn.Set_timer { name = "hello"; after = 0.5 } ]
+      [ Slpdas_gcn.Set_timer { timer = hello_timer; after = 0.5 } ]
       @
       if self = config.source then
-        [ Slpdas_gcn.Set_timer { name = "gen"; after = config.start_time } ]
+        [ Slpdas_gcn.Set_timer { timer = gen_timer; after = config.start_time } ]
       else []
     in
     (s, effects)
@@ -193,13 +198,15 @@ let program config ~self:_ =
         handler =
           (fun ~self:_ s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout "hello" when s.hello_remaining > 0 ->
+            | Slpdas_gcn.Timeout t
+              when Slpdas_gcn.Timer.equal t hello_timer && s.hello_remaining > 0
+              ->
               Some
                 ( { s with hello_remaining = s.hello_remaining - 1 },
                   Slpdas_gcn.Broadcast Hello
                   ::
                   (if s.hello_remaining > 1 then
-                     [ Slpdas_gcn.Set_timer { name = "hello"; after = 1.0 } ]
+                     [ Slpdas_gcn.Set_timer { timer = hello_timer; after = 1.0 } ]
                    else []) )
             | _ -> None);
       };
@@ -208,7 +215,8 @@ let program config ~self:_ =
         handler =
           (fun ~self s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout "gen" -> Some (on_generate ~self s)
+            | Slpdas_gcn.Timeout t when Slpdas_gcn.Timer.equal t gen_timer ->
+              Some (on_generate ~self s)
             | _ -> None);
       };
       {
@@ -216,7 +224,7 @@ let program config ~self:_ =
         handler =
           (fun ~self s trigger ->
             match trigger with
-            | Slpdas_gcn.Timeout name -> on_timeout ~self s name
+            | Slpdas_gcn.Timeout t -> on_timeout ~self s t
             | _ -> None);
       };
       {

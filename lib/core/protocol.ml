@@ -76,12 +76,12 @@ type state = {
 let slot_of_state s = s.slot
 
 module Timer = struct
-  let hello = "hello"
-  let dissem = "dissem"
-  let process = "process"
-  let search = "search"
-  let period = "period"
-  let tx = "tx"
+  let hello = Slpdas_gcn.Timer.intern "hello"
+  let dissem = Slpdas_gcn.Timer.intern "dissem"
+  let process = Slpdas_gcn.Timer.intern "process"
+  let search = Slpdas_gcn.Timer.intern "search"
+  let period = Slpdas_gcn.Timer.intern "period"
+  let tx = Slpdas_gcn.Timer.intern "tx"
 end
 
 (* Per-node, per-round dissemination jitter: staggers the round's broadcasts
@@ -525,7 +525,7 @@ let on_hello_timer s =
     ( { s with hello_remaining = s.hello_remaining - 1 },
       [
         Slpdas_gcn.Broadcast Messages.Hello;
-        Slpdas_gcn.Set_timer { name = Timer.hello; after = period_length s.config };
+        Slpdas_gcn.Set_timer { timer = Timer.hello; after = period_length s.config };
       ] )
 
 let on_dissem_timer ~self s =
@@ -537,7 +537,7 @@ let on_dissem_timer ~self s =
       [
         Slpdas_gcn.Set_timer
           {
-            name = Timer.dissem;
+            timer = Timer.dissem;
             after =
               s.config.dissemination_period
               -. dissem_jitter s.config ~node:self ~round
@@ -575,7 +575,7 @@ let on_process_timer ~self s =
     if s.process_rounds_left > 1 then
       [
         Slpdas_gcn.Set_timer
-          { name = Timer.process; after = s.config.dissemination_period };
+          { timer = Timer.process; after = s.config.dissemination_period };
       ]
     else []
   in
@@ -633,7 +633,7 @@ let on_period_timer ~self s =
   let effects =
     [
       Slpdas_gcn.Set_timer
-        { name = Timer.period; after = period_length s.config };
+        { timer = Timer.period; after = period_length s.config };
     ]
   in
   if self = s.config.sink then (s, effects)
@@ -642,7 +642,7 @@ let on_period_timer ~self s =
     | None -> (s, effects)
     | Some slot ->
       let offset = float_of_int (max slot 0) *. s.config.slot_period in
-      (s, Slpdas_gcn.Set_timer { name = Timer.tx; after = offset } :: effects)
+      (s, Slpdas_gcn.Set_timer { timer = Timer.tx; after = offset } :: effects)
   end
 
 let on_tx_timer ~self s =
@@ -757,18 +757,18 @@ let program config ~self:_ =
     in
     let effects =
       [
-        Slpdas_gcn.Set_timer { name = Timer.hello; after = hello_offset };
+        Slpdas_gcn.Set_timer { timer = Timer.hello; after = hello_offset };
         Slpdas_gcn.Set_timer
           {
-            name = Timer.dissem;
+            timer = Timer.dissem;
             after = das_start config +. dissem_jitter config ~node:self ~round:0;
           };
         Slpdas_gcn.Set_timer
           {
-            name = Timer.process;
+            timer = Timer.process;
             after = das_start config +. (config.dissemination_period *. process_slack);
           };
-        Slpdas_gcn.Set_timer { name = Timer.period; after = normal_start config };
+        Slpdas_gcn.Set_timer { timer = Timer.period; after = normal_start config };
       ]
     in
     let effects =
@@ -777,7 +777,7 @@ let program config ~self:_ =
         @ [
             Slpdas_gcn.Set_timer
               {
-                name = Timer.search;
+                timer = Timer.search;
                 after =
                   float_of_int config.search_start_period *. period_length config;
               };
@@ -802,7 +802,8 @@ let program config ~self:_ =
       handler =
         (fun ~self s trigger ->
           match trigger with
-          | Slpdas_gcn.Timeout t when t = timer -> Some (f ~self s)
+          | Slpdas_gcn.Timeout t when Slpdas_gcn.Timer.equal t timer ->
+            Some (f ~self s)
           | Slpdas_gcn.Timeout _ | Slpdas_gcn.Receive _ | Slpdas_gcn.Round_end
             -> None);
     }

@@ -137,12 +137,12 @@ val extract_schedule : n:int -> config -> (int -> state) -> Schedule.t
 (** [extract_schedule ~n config state_of] collects each node's current slot
     into a {!Schedule.t} (the sink unassigned, as in Defs. 2–3). *)
 
-(** Timer names used by the program — exposed for tests. *)
+(** Interned timers used by the program — exposed for tests. *)
 module Timer : sig
-  val hello : string
-  val dissem : string
-  val process : string
-  val search : string
-  val period : string
-  val tx : string
+  val hello : Slpdas_gcn.Timer.t
+  val dissem : Slpdas_gcn.Timer.t
+  val process : Slpdas_gcn.Timer.t
+  val search : Slpdas_gcn.Timer.t
+  val period : Slpdas_gcn.Timer.t
+  val tx : Slpdas_gcn.Timer.t
 end

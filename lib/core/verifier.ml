@@ -259,7 +259,7 @@ let attacker_traces g sched ~attacker ~safety_period ~max_traces =
   extend start 0 0 [] [ start ];
   List.rev !traces
 
-let capture_time g sched ~attacker ~source ~limit =
+let capture_time_reference g sched ~attacker ~source ~limit =
   check_args g ~safety_period:limit ~source;
   let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
   (* Track the best (lowest) period at which each state was reached; explore
@@ -303,3 +303,85 @@ let capture_time g sched ~attacker ~source ~limit =
   match !best_capture with
   | Some (p, trace) -> Some (p, trace)
   | None -> None
+
+(* Best-period map keyed by the packed (loc, moves, history) state — period
+   is the minimized {e value} here, unlike {!packed_visited} where it is part
+   of the key.  [improve] returns whether [period] beats the stored best and
+   records it when it does.  [None] when the history does not pack. *)
+let packed_best ~n ~attacker =
+  let h = attacker.Attacker.h in
+  let bits_loc = bits_for n in
+  let bits_m = bits_for attacker.Attacker.m in
+  let bits_hist = bits_loc * h in
+  let bits_base = bits_loc + bits_m in
+  if bits_hist > 62 || bits_base > 62 then None
+  else begin
+    let base ~loc ~moves = (loc lsl bits_m) lor moves in
+    let packing =
+      { bits_loc; hist_mask = (if h = 0 then 0 else (1 lsl bits_hist) - 1) }
+    in
+    let improve =
+      if bits_hist + bits_base <= 62 then begin
+        let tbl = Int_tbl.create 64 in
+        fun ~loc ~moves ~hist ~period ->
+          let key = (hist lsl bits_base) lor base ~loc ~moves in
+          match Int_tbl.find_opt tbl key with
+          | Some p when period >= p -> false
+          | _ ->
+            Int_tbl.replace tbl key period;
+            true
+      end
+      else begin
+        let tbl = Pair_tbl.create 64 in
+        fun ~loc ~moves ~hist ~period ->
+          let key = (hist, base ~loc ~moves) in
+          match Pair_tbl.find_opt tbl key with
+          | Some p when period >= p -> false
+          | _ ->
+            Pair_tbl.replace tbl key period;
+            true
+      end
+    in
+    Some (packing, improve)
+  end
+
+let capture_time g sched ~attacker ~source ~limit =
+  check_args g ~safety_period:limit ~source;
+  match packed_best ~n:(Slpdas_wsn.Graph.n g) ~attacker with
+  | None -> capture_time_reference g sched ~attacker ~source ~limit
+  | Some (packing, improve) ->
+    let h = attacker.Attacker.h in
+    let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
+    let best_capture = ref None in
+    (* Same exploration order as the reference, with the polymorphic best
+       table replaced by the packed map; [history]/[hist] are threaded
+       together as in {!verify_with_stats}. *)
+    let rec explore loc period moves history hist trace_rev =
+      let bound =
+        match !best_capture with Some (p, _) -> p - 1 | None -> limit
+      in
+      if period > bound then ()
+      else if improve ~loc ~moves ~hist ~period then
+        List.iter
+          (fun (c, period', moves') ->
+            let trace_rev' = c :: trace_rev in
+            if c = source && period' <= bound then
+              best_capture := Some (period', List.rev trace_rev')
+            else begin
+              let history', hist' =
+                if h > 0 then
+                  ( take (h - 1) history loc,
+                    ((hist lsl packing.bits_loc) lor (loc + 1))
+                    land packing.hist_mask )
+                else (history, 0)
+              in
+              explore c period' moves' history' hist' trace_rev'
+            end)
+          (successors_hearing g sched ~attacker ~heard_at ~loc ~period ~moves
+             ~history)
+    in
+    let start = attacker.Attacker.start in
+    explore start 0 0 [] 0 [ start ];
+    (match !best_capture with
+    | Some (p, trace) -> Some (p, trace)
+    | None -> None)

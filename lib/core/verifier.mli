@@ -109,4 +109,20 @@ val capture_time :
     δ{_G,P,A} of Def. 4: the minimum number of periods over all admissible
     traces in which the attacker can reach [source], with the witnessing
     trace, or [None] if no trace of at most [limit] periods captures.  Used
-    to compute safety periods (Eq. 1). *)
+    to compute safety periods (Eq. 1).
+
+    The best-period map is keyed by the packed (location, moves, history)
+    state — the same machinery as {!verify_with_stats} — and falls back to
+    {!capture_time_reference} when the attacker's history does not fit a
+    machine word. *)
+
+val capture_time_reference :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  source:int ->
+  limit:int ->
+  (int * int list) option
+(** The original polymorphic-keyed search: the differential-testing oracle
+    for {!capture_time} and its fallback for oversized attacker budgets.
+    Always returns the same result as {!capture_time}. *)

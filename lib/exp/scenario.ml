@@ -3,6 +3,7 @@ type ('s, 'm, 'obs, 'r) t = {
   topology : Slpdas_wsn.Topology.t;
   link : Slpdas_sim.Link_model.t;
   airtime : float option;
+  engine_impl : Slpdas_sim.Engine.impl;
   engine_seed : int;
   program : self:int -> ('s, 'm) Slpdas_gcn.program;
   deadline : float;
@@ -11,13 +12,15 @@ type ('s, 'm, 'obs, 'r) t = {
   monitors : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
 }
 
-let make ?(airtime = None) ?(monitors = []) ~name ~topology ~link ~engine_seed
-    ~program ~deadline ~attach ~extract () =
+let make ?(airtime = None) ?(engine_impl = Slpdas_sim.Engine.Fast)
+    ?(monitors = []) ~name ~topology ~link ~engine_seed ~program ~deadline
+    ~attach ~extract () =
   {
     name;
     topology;
     link;
     airtime;
+    engine_impl;
     engine_seed;
     program;
     deadline;
@@ -27,6 +30,8 @@ let make ?(airtime = None) ?(monitors = []) ~name ~topology ~link ~engine_seed
   }
 
 let with_monitor monitor t = { t with monitors = t.monitors @ [ monitor ] }
+
+let with_engine_impl impl t = { t with engine_impl = impl }
 
 let map_result f t =
   { t with extract = (fun engine obs -> f (t.extract engine obs)) }

@@ -21,6 +21,9 @@ type ('s, 'm, 'obs, 'r) t = {
   link : Slpdas_sim.Link_model.t;
   airtime : float option;
       (** destructive-interference modelling (see {!Slpdas_sim.Engine.create}) *)
+  engine_impl : Slpdas_sim.Engine.impl;
+      (** which engine implementation hosts the run; [Fast] unless the
+          scenario is being differentially checked against the reference *)
   engine_seed : int;
       (** seed for the engine's link-loss RNG, already salted per protocol
           family so families draw independent streams from the same run seed *)
@@ -44,6 +47,7 @@ type ('s, 'm, 'obs, 'r) t = {
 
 val make :
   ?airtime:float option ->
+  ?engine_impl:Slpdas_sim.Engine.impl ->
   ?monitors:(('s, 'm) Slpdas_sim.Engine.t -> unit) list ->
   name:string ->
   topology:Slpdas_wsn.Topology.t ->
@@ -60,10 +64,15 @@ val with_monitor :
   (('s, 'm) Slpdas_sim.Engine.t -> unit) ->
   ('s, 'm, 'obs, 'r) t ->
   ('s, 'm, 'obs, 'r) t
-(** Append an observer, e.g. [with_monitor (fun e -> ignore (Trace.attach e
-    ~describe)) scenario].  Monitors must only observe (subscribe, record):
-    anything that queues engine events or injects triggers would perturb
-    the run. *)
+(** Append an observer, e.g. [with_monitor (fun e ->
+    Slpdas_sim.Engine.subscribe e on_event) scenario].  Monitors must only
+    observe (subscribe, record): anything that queues engine events or
+    injects triggers would perturb the run. *)
+
+val with_engine_impl :
+  Slpdas_sim.Engine.impl -> ('s, 'm, 'obs, 'r) t -> ('s, 'm, 'obs, 'r) t
+(** Select the engine implementation (default [Fast]); the equivalence
+    tests rerun a scenario under [Reference] and compare observables. *)
 
 val map_result : ('r -> 'q) -> ('s, 'm, 'obs, 'r) t -> ('s, 'm, 'obs, 'q) t
 (** Post-compose the extractor — e.g. project a full result down to the

@@ -1,12 +1,52 @@
+module Timer = struct
+  type t = int
+
+  (* Copy-on-write intern registry.  Readers probe the published table and
+     array without taking the lock; writers copy, extend and re-publish under
+     the mutex, so a published structure is never mutated.  [names] is
+     published after the table entry it backs is added to the copy but before
+     the copy itself is published, so any id observable through [table] is
+     resolvable through [names]. *)
+  let lock = Mutex.create ()
+  let table : (string, int) Hashtbl.t Atomic.t = Atomic.make (Hashtbl.create 8)
+  let names : string array Atomic.t = Atomic.make [||]
+
+  let intern s =
+    match Hashtbl.find_opt (Atomic.get table) s with
+    | Some id -> id
+    | None ->
+      Mutex.protect lock (fun () ->
+          let current = Atomic.get table in
+          match Hashtbl.find_opt current s with
+          | Some id -> id
+          | None ->
+            let id = Hashtbl.length current in
+            let table' = Hashtbl.copy current in
+            Hashtbl.replace table' s id;
+            let old_names = Atomic.get names in
+            let names' = Array.make (id + 1) s in
+            Array.blit old_names 0 names' 0 (Array.length old_names);
+            Atomic.set names names';
+            Atomic.set table table';
+            id)
+
+  let id t = t
+  let name t = (Atomic.get names).(t)
+  let equal = Int.equal
+  let compare = Int.compare
+  let count () = Hashtbl.length (Atomic.get table)
+  let pp fmt t = Format.pp_print_string fmt (name t)
+end
+
 type 'm trigger =
-  | Timeout of string
+  | Timeout of Timer.t
   | Receive of { sender : int; msg : 'm }
   | Round_end
 
 type 'm effect_ =
   | Broadcast of 'm
-  | Set_timer of { name : string; after : float }
-  | Stop_timer of string
+  | Set_timer of { timer : Timer.t; after : float }
+  | Stop_timer of Timer.t
 
 type ('s, 'm) action = {
   name : string;

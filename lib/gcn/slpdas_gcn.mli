@@ -21,8 +21,42 @@
     run to fixpoint.  A well-formed spontaneous action must falsify its own
     guard; the runtime enforces termination with a fuel bound. *)
 
+(** Interned timer identities.
+
+    Timer names in the paper's notation are symbolic ([timeout(thello)],
+    [timeout(tperiod)], …); protocols here additionally mint dynamic names
+    (e.g. one forwarding timer per in-flight flood).  [intern] maps each
+    distinct name to a small dense int once, so the engine's per-timer
+    bookkeeping is an array index instead of a string-keyed hashtable probe.
+    The registry is global, append-only, and safe to use from multiple
+    domains (copy-on-write under a mutex; reads are lock-free). *)
+module Timer : sig
+  type t
+
+  val intern : string -> t
+  (** [intern name] returns the canonical id for [name], allocating a fresh
+      one on first use.  Interning the same name always yields [equal] ids,
+      within and across domains. *)
+
+  val id : t -> int
+  (** Dense non-negative index, suitable for array addressing.  Ids are
+      assigned in interning order; [id t < count ()] always holds. *)
+
+  val name : t -> string
+  (** The original name, for diagnostics and the event bus. *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val count : unit -> int
+  (** Number of distinct names interned so far, process-wide. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 type 'm trigger =
-  | Timeout of string  (** the named timer expired *)
+  | Timeout of Timer.t  (** the named timer expired *)
   | Receive of { sender : int; msg : 'm }
       (** a message was dequeued from the channel variable [ch] *)
   | Round_end
@@ -32,9 +66,9 @@ type 'm trigger =
 
 type 'm effect_ =
   | Broadcast of 'm  (** transmit to all 1-hop neighbours *)
-  | Set_timer of { name : string; after : float }
-      (** (re)arm a named one-shot timer [after] seconds from now *)
-  | Stop_timer of string  (** cancel a timer; no-op if not armed *)
+  | Set_timer of { timer : Timer.t; after : float }
+      (** (re)arm a one-shot timer [after] seconds from now *)
+  | Stop_timer of Timer.t  (** cancel a timer; no-op if not armed *)
 
 type ('s, 'm) action = {
   name : string;

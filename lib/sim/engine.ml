@@ -1,8 +1,32 @@
 let propagation_delay = 0.001
 
+type impl = Fast | Reference
+
+(* Per-topology link-decision cache (Fast impl).  Built once at [create];
+   collapses a delivery decision to at most one RNG draw and a float
+   compare.  [rx_power] rows are aligned with the graph's adjacency rows and
+   are computed with exactly the float expression [Link_model.delivered]
+   uses, so verdicts are bit-identical to the reference path. *)
+type link_cache =
+  | Always_delivered
+  | Never_delivered
+  | Bernoulli_loss of float  (* loss probability p, 0 < p < 1: one draw *)
+  | Gaussian_rx of {
+      noise_mean : float;
+      noise_std : float;
+      snr_threshold : float;
+      rx_power : float array array;  (* rx_power.(u).(i): u → i-th neighbour *)
+    }
+
 type ('s, 'm) event_kind =
-  | Timer_fire of { node : int; timer : string; generation : int }
+  | Timer_fire of { node : int; timer : Slpdas_gcn.Timer.t; generation : int }
   | Deliver of { node : int; sender : int; msg : 'm }
+      (* Reference impl: one event per (broadcast × delivered neighbour). *)
+  | Deliver_batch of { sender : int; recipients : int array; msg : 'm }
+      (* Fast impl: one event per broadcast; [propagation_delay] is a
+         constant, so all of a broadcast's arrivals share one timestamp and
+         expand at pop time in adjacency order — the order the reference
+         impl pushes (and therefore pops) its singleton events in. *)
   | Callback of (('s, 'm) t -> unit)
 
 and ('s, 'm) event = { at : float; seq : int; kind : ('s, 'm) event_kind }
@@ -10,12 +34,21 @@ and ('s, 'm) event = { at : float; seq : int; kind : ('s, 'm) event_kind }
 and ('s, 'm) t = {
   topology : Slpdas_wsn.Topology.t;
   link : Link_model.t;
+  impl : impl;
   airtime : float option;
-  recent_broadcasts : (float * int) Queue.t;
+  recent_broadcasts : (float * int) Queue.t;  (* Reference: global log *)
+  audible : (float * int) Queue.t array;
+      (* Fast: audible.(v) = recent transmissions hearable at v (v's own and
+         its neighbours'), so a jam check scans only candidates that could
+         possibly match instead of folding the global log. *)
   rng : Slpdas_util.Rng.t;
   instances : ('s, 'm) Slpdas_gcn.Instance.t array;
   queue : ('s, 'm) event Slpdas_util.Heap.t;
-  timer_generations : (int * string, int) Hashtbl.t;
+  timer_generations : (int * string, int) Hashtbl.t;  (* Reference *)
+  gens : int array array;  (* Fast: gens.(node).(Timer.id) *)
+  link_cache : link_cache;
+  neighbours : int array array;  (* cached adjacency rows *)
+  scratch : int array;  (* delivered-recipient staging, max-degree sized *)
   mutable now : float;
   mutable next_seq : int;
   subscribers : ('m Event.t -> unit) Queue.t;
@@ -80,18 +113,63 @@ let schedule t ~at f =
   if at < t.now then invalid_arg "Engine.schedule: time is in the past";
   push t ~at (Callback f)
 
+(* Reference timer bookkeeping: a string-keyed hashtable probe per
+   operation, kept verbatim as the differential-testing baseline. *)
+let ref_timer_generation t node timer =
+  Option.value ~default:0
+    (Hashtbl.find_opt t.timer_generations (node, Slpdas_gcn.Timer.name timer))
+
+let ref_bump_timer_generation t node timer =
+  let g = ref_timer_generation t node timer + 1 in
+  Hashtbl.replace t.timer_generations (node, Slpdas_gcn.Timer.name timer) g;
+  g
+
+(* Fast timer bookkeeping: a per-node array indexed by the interned timer
+   id.  Rows start sized to the intern registry and grow (amortised
+   doubling) when a program mints timer names mid-run. *)
+let fast_timer_generation t node id =
+  let row = t.gens.(node) in
+  if id < Array.length row then row.(id) else 0
+
+let fast_bump_timer_generation t node id =
+  let row = t.gens.(node) in
+  let row =
+    if id < Array.length row then row
+    else begin
+      let row' = Array.make (max (id + 1) ((2 * Array.length row) + 1)) 0 in
+      Array.blit row 0 row' 0 (Array.length row);
+      t.gens.(node) <- row';
+      row'
+    end
+  in
+  let g = row.(id) + 1 in
+  row.(id) <- g;
+  g
+
 let timer_generation t node timer =
-  Option.value ~default:0 (Hashtbl.find_opt t.timer_generations (node, timer))
+  match t.impl with
+  | Fast -> fast_timer_generation t node (Slpdas_gcn.Timer.id timer)
+  | Reference -> ref_timer_generation t node timer
 
 let bump_timer_generation t node timer =
-  let g = timer_generation t node timer + 1 in
-  Hashtbl.replace t.timer_generations (node, timer) g;
-  g
+  match t.impl with
+  | Fast -> fast_bump_timer_generation t node (Slpdas_gcn.Timer.id timer)
+  | Reference -> ref_bump_timer_generation t node timer
 
 let distance t u v =
   let x1, y1 = t.topology.Slpdas_wsn.Topology.positions.(u)
   and x2, y2 = t.topology.Slpdas_wsn.Topology.positions.(v) in
   sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+
+let prune_queue q ~horizon =
+  let rec prune () =
+    match Queue.peek_opt q with
+    | Some (time, _) when time < horizon ->
+      ignore (Queue.pop q);
+      prune ()
+    | Some _ | None -> ()
+  in
+  prune ()
 
 (* With interference modelling on, remember recent transmissions and prune
    entries that can no longer overlap anything. *)
@@ -99,32 +177,56 @@ let record_broadcast t node =
   match t.airtime with
   | None -> ()
   | Some airtime ->
-    Queue.add (t.now, node) t.recent_broadcasts;
     let horizon = t.now -. airtime -. (4.0 *. propagation_delay) in
-    let rec prune () =
-      match Queue.peek_opt t.recent_broadcasts with
-      | Some (time, _) when time < horizon ->
-        ignore (Queue.pop t.recent_broadcasts);
-        prune ()
-      | Some _ | None -> ()
-    in
-    prune ()
+    (match t.impl with
+    | Reference ->
+      Queue.add (t.now, node) t.recent_broadcasts;
+      prune_queue t.recent_broadcasts ~horizon
+    | Fast ->
+      (* Fan the entry out to every position it is audible at (the sender's
+         own — radios are half-duplex — and each neighbour's). *)
+      let q = t.audible.(node) in
+      Queue.add (t.now, node) q;
+      prune_queue q ~horizon;
+      Array.iter
+        (fun v ->
+          let q = t.audible.(v) in
+          Queue.add (t.now, node) q;
+          prune_queue q ~horizon)
+        t.neighbours.(node))
+
+exception Jam
 
 (* A reception at [node] of a transmission sent at [tx_time] is jammed when
    any other audible transmission overlaps it (half-duplex: the receiver's
-   own transmissions jam too). *)
+   own transmissions jam too).  The fast path scans only the transmissions
+   audible at [node] and early-exits on the first overlap; entries the
+   reference path would already have pruned from its global log are at least
+   [airtime + 3·propagation_delay] older than any [tx_time] checked after
+   them, so a lazily-pruned per-node queue never flips a verdict. *)
 let jammed t ~node ~sender ~tx_time =
   match t.airtime with
   | None -> false
-  | Some airtime ->
-    let graph = t.topology.Slpdas_wsn.Topology.graph in
-    Queue.fold
-      (fun acc (time, other) ->
-        acc
-        || (other <> sender
-           && abs_float (time -. tx_time) < airtime
-           && (other = node || Slpdas_wsn.Graph.mem_edge graph node other)))
-      false t.recent_broadcasts
+  | Some airtime -> (
+    match t.impl with
+    | Reference ->
+      let graph = t.topology.Slpdas_wsn.Topology.graph in
+      Queue.fold
+        (fun acc (time, other) ->
+          acc
+          || (other <> sender
+             && abs_float (time -. tx_time) < airtime
+             && (other = node || Slpdas_wsn.Graph.mem_edge graph node other)))
+        false t.recent_broadcasts
+    | Fast -> (
+      try
+        Queue.iter
+          (fun (time, other) ->
+            if other <> sender && abs_float (time -. tx_time) < airtime then
+              raise Jam)
+          t.audible.(node);
+        false
+      with Jam -> true))
 
 let rec apply_effects t node effects =
   List.iter
@@ -136,22 +238,79 @@ let rec apply_effects t node effects =
         record_broadcast t node;
         if listening t then
           notify t (Event.Broadcast { time = t.now; sender = node; msg });
-        Array.iter
-          (fun v ->
-            if Link_model.delivered t.link t.rng ~distance_m:(distance t node v)
-            then push t ~at:(t.now +. propagation_delay) (Deliver { node = v; sender = node; msg })
-            else begin
-              Event.count_drop t.tally ~collision:false ~time:t.now;
-              if listening t then
-                notify t
-                  (Event.Drop
-                     { time = t.now; node = v; sender = node; collision = false })
-            end)
-          (Slpdas_wsn.Graph.neighbours t.topology.Slpdas_wsn.Topology.graph node)
-      | Slpdas_gcn.Set_timer { name; after } ->
-        let generation = bump_timer_generation t node name in
-        push t ~at:(t.now +. after) (Timer_fire { node; timer = name; generation })
-      | Slpdas_gcn.Stop_timer name -> ignore (bump_timer_generation t node name))
+        (match t.impl with
+        | Reference ->
+          Array.iter
+            (fun v ->
+              if
+                Link_model.delivered t.link t.rng
+                  ~distance_m:(distance t node v)
+              then
+                push t
+                  ~at:(t.now +. propagation_delay)
+                  (Deliver { node = v; sender = node; msg })
+              else begin
+                Event.count_drop t.tally ~collision:false ~time:t.now;
+                if listening t then
+                  notify t
+                    (Event.Drop
+                       { time = t.now; node = v; sender = node; collision = false })
+              end)
+            (Slpdas_wsn.Graph.neighbours t.topology.Slpdas_wsn.Topology.graph
+               node)
+        | Fast ->
+          (* RNG draws happen here, eagerly, in adjacency order — exactly
+             the reference draw sequence — and drops are counted at
+             broadcast time like the reference path.  Only the delivery
+             *arrivals* are deferred, as one batch event. *)
+          let nbrs = t.neighbours.(node) in
+          let deg = Array.length nbrs in
+          let scratch = t.scratch in
+          let count = ref 0 in
+          let drop v =
+            Event.count_drop t.tally ~collision:false ~time:t.now;
+            if listening t then
+              notify t
+                (Event.Drop
+                   { time = t.now; node = v; sender = node; collision = false })
+          in
+          (match t.link_cache with
+          | Always_delivered ->
+            Array.blit nbrs 0 scratch 0 deg;
+            count := deg
+          | Never_delivered -> Array.iter drop nbrs
+          | Bernoulli_loss p ->
+            for i = 0 to deg - 1 do
+              let v = Array.unsafe_get nbrs i in
+              if not (Slpdas_util.Rng.bernoulli t.rng p) then begin
+                Array.unsafe_set scratch !count v;
+                incr count
+              end
+              else drop v
+            done
+          | Gaussian_rx { noise_mean; noise_std; snr_threshold; rx_power } ->
+            let row = rx_power.(node) in
+            for i = 0 to deg - 1 do
+              let v = Array.unsafe_get nbrs i in
+              let noise =
+                Slpdas_util.Rng.gaussian t.rng ~mean:noise_mean ~std:noise_std
+              in
+              if Array.unsafe_get row i -. noise >= snr_threshold then begin
+                Array.unsafe_set scratch !count v;
+                incr count
+              end
+              else drop v
+            done);
+          if !count > 0 then
+            push t
+              ~at:(t.now +. propagation_delay)
+              (Deliver_batch
+                 { sender = node; recipients = Array.sub scratch 0 !count; msg }))
+      | Slpdas_gcn.Set_timer { timer; after } ->
+        let generation = bump_timer_generation t node timer in
+        push t ~at:(t.now +. after) (Timer_fire { node; timer; generation })
+      | Slpdas_gcn.Stop_timer timer ->
+        ignore (bump_timer_generation t node timer))
     effects
 
 and inject t ~node trigger =
@@ -162,22 +321,76 @@ and inject t ~node trigger =
     apply_effects t node effects
   end
 
-let create ?airtime ~topology ~link ~rng ~program () =
-  let n = Slpdas_wsn.Graph.n topology.Slpdas_wsn.Topology.graph in
+let build_link_cache ~impl ~topology ~link ~neighbours =
+  match impl with
+  | Reference -> Always_delivered (* unused *)
+  | Fast -> (
+    match Link_model.prepare link with
+    | Link_model.Static true -> Always_delivered
+    | Link_model.Static false -> Never_delivered
+    | Link_model.Bernoulli p -> Bernoulli_loss p
+    | Link_model.Snr { noise_mean_dbm; noise_std_dbm; snr_threshold_db; rx_power_dbm }
+      ->
+      let positions = topology.Slpdas_wsn.Topology.positions in
+      let rx_power =
+        Array.mapi
+          (fun u row ->
+            let x1, y1 = positions.(u) in
+            Array.map
+              (fun v ->
+                (* Evaluated once per directed edge instead of once per
+                   reception; the distance expression matches [distance]. *)
+                let x2, y2 = positions.(v) in
+                let distance_m =
+                  sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+                in
+                rx_power_dbm ~distance_m)
+              row)
+          neighbours
+      in
+      Gaussian_rx
+        {
+          noise_mean = noise_mean_dbm;
+          noise_std = noise_std_dbm;
+          snr_threshold = snr_threshold_db;
+          rx_power;
+        })
+
+let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
+  let graph = topology.Slpdas_wsn.Topology.graph in
+  let n = Slpdas_wsn.Graph.n graph in
   let queue = Slpdas_util.Heap.create ~cmp:compare_events in
   let boot =
     Array.init n (fun v -> Slpdas_gcn.Instance.create (program ~self:v) ~self:v)
   in
+  let neighbours = Array.init n (Slpdas_wsn.Graph.neighbours graph) in
+  let max_degree =
+    Array.fold_left (fun acc row -> max acc (Array.length row)) 0 neighbours
+  in
+  let timer_slots = max 1 (Slpdas_gcn.Timer.count ()) in
   let t =
     {
       topology;
       link;
+      impl;
       airtime;
       recent_broadcasts = Queue.create ();
+      audible =
+        (match (impl, airtime) with
+        | Fast, Some _ -> Array.init n (fun _ -> Queue.create ())
+        | _ -> [||]);
       rng;
       instances = Array.map fst boot;
       queue;
-      timer_generations = Hashtbl.create (4 * n);
+      timer_generations =
+        Hashtbl.create (match impl with Reference -> 4 * n | Fast -> 1);
+      gens =
+        (match impl with
+        | Fast -> Array.init n (fun _ -> Array.make timer_slots 0)
+        | Reference -> [||]);
+      link_cache = build_link_cache ~impl ~topology ~link ~neighbours;
+      neighbours;
+      scratch = Array.make max_degree 0;
       now = 0.0;
       next_seq = 0;
       subscribers = Queue.create ();
@@ -190,6 +403,19 @@ let create ?airtime ~topology ~link ~rng ~program () =
   Array.iteri (fun v (_, effects) -> apply_effects t v effects) boot;
   t
 
+let deliver_one t ~node ~sender ~tx_time msg =
+  if jammed t ~node ~sender ~tx_time then begin
+    Event.count_drop t.tally ~collision:true ~time:t.now;
+    if listening t then
+      notify t (Event.Drop { time = t.now; node; sender; collision = true })
+  end
+  else begin
+    Event.count_delivery t.tally ~time:t.now;
+    if listening t then
+      notify t (Event.Delivery { time = t.now; node; sender; msg });
+    inject t ~node (Slpdas_gcn.Receive { sender; msg })
+  end
+
 let process t event =
   t.now <- event.at;
   match event.kind with
@@ -199,21 +425,24 @@ let process t event =
     if generation = timer_generation t node timer then begin
       Event.count_timer_fire t.tally ~time:t.now;
       if listening t then
-        notify t (Event.Timer_fire { time = t.now; node; timer });
+        notify t
+          (Event.Timer_fire
+             { time = t.now; node; timer = Slpdas_gcn.Timer.name timer });
       inject t ~node (Slpdas_gcn.Timeout timer)
     end
   | Deliver { node; sender; msg } ->
-    if jammed t ~node ~sender ~tx_time:(t.now -. propagation_delay) then begin
-      Event.count_drop t.tally ~collision:true ~time:t.now;
-      if listening t then
-        notify t (Event.Drop { time = t.now; node; sender; collision = true })
-    end
-    else begin
-      Event.count_delivery t.tally ~time:t.now;
-      if listening t then
-        notify t (Event.Delivery { time = t.now; node; sender; msg });
-      inject t ~node (Slpdas_gcn.Receive { sender; msg })
-    end
+    deliver_one t ~node ~sender ~tx_time:(t.now -. propagation_delay) msg
+  | Deliver_batch { sender; recipients; msg } ->
+    (* Expand in push (= adjacency) order.  [halted] is re-checked between
+       recipients because the reference impl's singleton events would stop
+       being popped as soon as a subscriber called [stop]. *)
+    let tx_time = t.now -. propagation_delay in
+    let k = Array.length recipients in
+    let i = ref 0 in
+    while (not t.halted) && !i < k do
+      deliver_one t ~node:recipients.(!i) ~sender ~tx_time msg;
+      incr i
+    done
   | Callback f -> f t
 
 let step t =

@@ -19,7 +19,21 @@
 
 type ('s, 'm) t
 
+(** Engine implementation selector.
+
+    [Fast] (the default) runs the precomputation-and-batching hot path: a
+    per-topology link cache built at {!create} (delivery = one RNG draw and
+    a compare), per-node [int array] timer generations indexed by interned
+    {!Slpdas_gcn.Timer} ids, and one arrival event per broadcast expanded at
+    pop time.  [Reference] runs the original per-neighbour-event,
+    string-keyed implementation.  The two are observably equivalent — same
+    RNG draw sequence, same event ordering, same counters, states and
+    schedules — which the test suite enforces differentially; [Reference]
+    exists as that oracle and as the benchmark baseline. *)
+type impl = Fast | Reference
+
 val create :
+  ?impl:impl ->
   ?airtime:float ->
   topology:Slpdas_wsn.Topology.t ->
   link:Link_model.t ->
@@ -106,7 +120,11 @@ val fail_node : ('s, 'm) t -> int -> unit
 val node_failed : ('s, 'm) t -> int -> bool
 
 val step : ('s, 'm) t -> bool
-(** Process the next event.  [false] iff the queue was empty. *)
+(** Process the next event.  [false] iff the queue was empty.  Under the
+    [Fast] impl all of a broadcast's arrivals form one batch event, so a
+    single [step] may process several receptions that the [Reference] impl
+    spreads over as many steps; {!run_until}-driven outcomes are
+    unaffected. *)
 
 val run_until : ('s, 'm) t -> float -> unit
 (** [run_until t deadline] processes events with time ≤ [deadline] (or until

@@ -83,6 +83,10 @@ let merge a b =
 
 let merge_all cs = List.fold_left merge empty cs
 
+(* First/last-event times are kept as raw floats with infinity sentinels and
+   converted to options at [snapshot]: [last_event] improves on nearly every
+   event, and a [float option] would re-box a [Some] each time — a per-event
+   allocation on the engine's hottest path. *)
 type tally = {
   mutable t_broadcasts : int;
   mutable t_deliveries : int;
@@ -91,8 +95,8 @@ type tally = {
   mutable t_timer_fires : int;
   mutable t_attacker_moves : int;
   mutable t_phase_transitions : int;
-  mutable t_first_event : float option;
-  mutable t_last_event : float option;
+  mutable t_first_event : float;  (* infinity = none yet *)
+  mutable t_last_event : float;  (* neg_infinity = none yet *)
 }
 
 let tally_create () =
@@ -104,17 +108,13 @@ let tally_create () =
     t_timer_fires = 0;
     t_attacker_moves = 0;
     t_phase_transitions = 0;
-    t_first_event = None;
-    t_last_event = None;
+    t_first_event = infinity;
+    t_last_event = neg_infinity;
   }
 
 let touch ta time =
-  (match ta.t_first_event with
-  | None -> ta.t_first_event <- Some time
-  | Some f -> if time < f then ta.t_first_event <- Some time);
-  match ta.t_last_event with
-  | None -> ta.t_last_event <- Some time
-  | Some l -> if time > l then ta.t_last_event <- Some time
+  if time < ta.t_first_event then ta.t_first_event <- time;
+  if time > ta.t_last_event then ta.t_last_event <- time
 
 (* Count without allocating an event value: the engine's hot paths call
    these directly and only build the event record when subscribers exist. *)
@@ -161,8 +161,10 @@ let snapshot ta =
     timer_fires = ta.t_timer_fires;
     attacker_moves = ta.t_attacker_moves;
     phase_transitions = ta.t_phase_transitions;
-    first_event = ta.t_first_event;
-    last_event = ta.t_last_event;
+    first_event =
+      (if ta.t_first_event = infinity then None else Some ta.t_first_event);
+    last_event =
+      (if ta.t_last_event = neg_infinity then None else Some ta.t_last_event);
   }
 
 let to_json c =

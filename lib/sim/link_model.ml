@@ -37,6 +37,41 @@ let delivered model rng ~distance_m =
     in
     rx_power -. noise >= g.snr_threshold_db
 
+type prepared =
+  | Static of bool
+  | Bernoulli of float
+  | Snr of {
+      noise_mean_dbm : float;
+      noise_std_dbm : float;
+      snr_threshold_db : float;
+      rx_power_dbm : distance_m:float -> float;
+    }
+
+let prepare = function
+  | Ideal -> Static true
+  | Lossy p ->
+    (* Mirror Rng.bernoulli's degenerate cases, which draw nothing. *)
+    if p <= 0.0 then Static true
+    else if p >= 1.0 then Static false
+    else Bernoulli p
+  | Gaussian_noise g ->
+    Snr
+      {
+        noise_mean_dbm = g.noise_mean_dbm;
+        noise_std_dbm = g.noise_std_dbm;
+        snr_threshold_db = g.snr_threshold_db;
+        rx_power_dbm =
+          (fun ~distance_m ->
+            (* Same float expression as [delivered], so a cached rx power
+               compared against the same sampled noise reproduces its
+               verdict bit-for-bit. *)
+            let d = max distance_m 0.1 in
+            let path_loss =
+              g.reference_loss_dbm +. (10.0 *. g.path_loss_exponent *. log10 d)
+            in
+            g.tx_power_dbm -. path_loss);
+      }
+
 let expected_delivery model ~distance_m ~samples rng =
   if samples <= 0 then invalid_arg "Link_model.expected_delivery: samples";
   let ok = ref 0 in

@@ -29,6 +29,27 @@ val delivered : t -> Slpdas_util.Rng.t -> distance_m:float -> bool
 (** [delivered model rng ~distance_m] samples whether one reception at the
     given distance succeeds. *)
 
+(** A link model factored for per-edge precomputation.  [Static] decisions
+    consume no randomness (matching {!delivered}, whose degenerate [Lossy]
+    cases draw nothing); a [Bernoulli] decision is one draw; an [Snr]
+    decision is one Gaussian noise sample compared against the
+    distance-determined receive power, which [rx_power_dbm] computes with
+    exactly the float expression {!delivered} uses — cache it per edge and
+    the sampled verdicts are bit-identical. *)
+type prepared =
+  | Static of bool  (** delivered / dropped, no RNG draw *)
+  | Bernoulli of float  (** loss probability, strictly inside (0, 1) *)
+  | Snr of {
+      noise_mean_dbm : float;
+      noise_std_dbm : float;
+      snr_threshold_db : float;
+      rx_power_dbm : distance_m:float -> float;
+    }
+
+val prepare : t -> prepared
+(** [prepare model] is the decision procedure of [model], factored so the
+    distance-dependent part can be evaluated once per edge. *)
+
 val expected_delivery : t -> distance_m:float -> samples:int -> Slpdas_util.Rng.t -> float
 (** Monte-Carlo estimate of the delivery probability; for calibration tests
     and documentation. *)

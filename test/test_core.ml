@@ -639,6 +639,36 @@ let prop_packed_verifier_matches_reference =
       in
       fast = reference)
 
+(* Same differential obligation for the minimum-capture-time search: the
+   packed best-period map must reproduce the reference's result exactly —
+   the minimum period and the witnessing trace. *)
+let prop_packed_capture_time_matches_reference =
+  QCheck.Test.make ~count:40 ~name:"packed capture time = reference"
+    QCheck.(
+      pair
+        (pair (int_range 3 7) (int_bound 10_000))
+        (pair
+           (pair (int_range 1 3) (int_bound 8))
+           (pair (int_range 1 3) (int_bound 2))))
+    (fun ((dim, seed), ((r, h), (m, decide_ix))) ->
+      let topo = Topology.grid dim in
+      let g = topo.Topology.graph in
+      let built = Das_build.build ~rng:(Rng.create seed) g ~sink:topo.Topology.sink in
+      let decide, decide_name =
+        match decide_ix with
+        | 0 -> (Attacker.lowest_slot, "lowest")
+        | 1 -> (Attacker.lowest_slot_avoiding_history, "avoiding")
+        | _ -> (Attacker.second_lowest, "second")
+      in
+      let attacker =
+        Attacker.make ~decide ~decide_name ~r ~h ~m ~start:topo.Topology.sink ()
+      in
+      let limit = 3 * Topology.source_sink_distance topo in
+      Verifier.capture_time g built.Das_build.schedule ~attacker
+        ~source:topo.Topology.source ~limit
+      = Verifier.capture_time_reference g built.Das_build.schedule ~attacker
+          ~source:topo.Topology.source ~limit)
+
 (* ------------------------------------------------------------------ *)
 (* Slp_refine                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -1061,6 +1091,7 @@ let () =
           Alcotest.test_case "argument validation" `Quick test_verifier_invalid_args;
           QCheck_alcotest.to_alcotest prop_verifier_matches_descent;
           QCheck_alcotest.to_alcotest prop_packed_verifier_matches_reference;
+          QCheck_alcotest.to_alcotest prop_packed_capture_time_matches_reference;
         ] );
       ( "slp-refine",
         [

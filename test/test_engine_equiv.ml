@@ -1,0 +1,280 @@
+(* Differential tests: the fast engine implementation against the reference
+   oracle (Engine.Reference).  For the same topology, program and seeds, the
+   two implementations must be observably indistinguishable — identical
+   event counters, per-node broadcast counts, final node states and capture
+   outcomes — for every link model and every scenario family. *)
+
+module Topology = Slpdas_wsn.Topology
+module Graph = Slpdas_wsn.Graph
+module Rng = Slpdas_util.Rng
+module Gcn = Slpdas_gcn
+module Engine = Slpdas_sim.Engine
+module Event = Slpdas_sim.Event
+module Link_model = Slpdas_sim.Link_model
+module Protocol = Slpdas_core.Protocol
+module Scenario = Slpdas_exp.Scenario
+module Harness = Slpdas_exp.Harness
+module Runner = Slpdas_exp.Runner
+module Phantom_runner = Slpdas_exp.Phantom_runner
+module Fake_runner = Slpdas_exp.Fake_runner
+
+let links =
+  [
+    ("ideal", Link_model.Ideal);
+    ("lossy", Link_model.Lossy 0.25);
+    ("gaussian", Link_model.default_gaussian);
+  ]
+
+let check_counters label (expected : Event.counters) (actual : Event.counters)
+    =
+  let chk name f = Alcotest.(check int) (label ^ ": " ^ name) (f expected) (f actual) in
+  chk "broadcasts" (fun c -> c.Event.broadcasts);
+  chk "deliveries" (fun c -> c.Event.deliveries);
+  chk "drops_link" (fun c -> c.Event.drops_link);
+  chk "drops_collision" (fun c -> c.Event.drops_collision);
+  chk "timer_fires" (fun c -> c.Event.timer_fires);
+  chk "attacker_moves" (fun c -> c.Event.attacker_moves);
+  chk "phase_transitions" (fun c -> c.Event.phase_transitions);
+  Alcotest.(check (option (float 0.0)))
+    (label ^ ": first_event") expected.Event.first_event actual.Event.first_event;
+  Alcotest.(check (option (float 0.0)))
+    (label ^ ": last_event") expected.Event.last_event actual.Event.last_event
+
+(* Run a scenario under both implementations; results must agree exactly
+   (the result records are plain data, so structural equality is the full
+   observable comparison). *)
+let both scenario =
+  let fast = Harness.run_with_events scenario in
+  let refr =
+    Harness.run_with_events
+      (Scenario.with_engine_impl Engine.Reference scenario)
+  in
+  (fast, refr)
+
+let check_scenario label scenario =
+  let (fast_r, fast_c), (ref_r, ref_c) = both scenario in
+  check_counters label ref_c fast_c;
+  Alcotest.(check bool) (label ^ ": results equal") true (fast_r = ref_r)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario families                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_das_family () =
+  let topology = Topology.grid 5 in
+  List.iter
+    (fun (name, link) ->
+      List.iter
+        (fun mode ->
+          let cfg =
+            {
+              (Runner.default_config ~topology ~mode ~seed:7) with
+              Runner.link;
+            }
+          in
+          let label =
+            Printf.sprintf "das/%s/%s" name
+              (match mode with
+              | Protocol.Protectionless -> "das"
+              | Protocol.Slp -> "slp")
+          in
+          let (fast_r, fast_c), (ref_r, ref_c) = both (Runner.scenario cfg) in
+          check_counters label ref_c fast_c;
+          Alcotest.(check bool) (label ^ ": captured") ref_r.Runner.captured
+            fast_r.Runner.captured;
+          Alcotest.(check (option (float 0.0)))
+            (label ^ ": capture time") ref_r.Runner.capture_seconds
+            fast_r.Runner.capture_seconds;
+          Alcotest.(check (list int)) (label ^ ": attacker path")
+            ref_r.Runner.attacker_path fast_r.Runner.attacker_path;
+          Alcotest.(check (array int)) (label ^ ": broadcasts by node")
+            ref_r.Runner.broadcasts_by_node fast_r.Runner.broadcasts_by_node;
+          Alcotest.(check bool) (label ^ ": full results equal") true
+            (fast_r = ref_r))
+        [ Protocol.Protectionless; Protocol.Slp ])
+    links
+
+let test_das_with_airtime () =
+  (* Interference modelling exercises the jam check, whose fast path uses
+     per-node audible queues instead of the reference's global list. *)
+  let topology = Topology.grid 5 in
+  List.iter
+    (fun (name, link) ->
+      let cfg =
+        {
+          (Runner.default_config ~topology ~mode:Protocol.Slp ~seed:11) with
+          Runner.link;
+          airtime = Some 0.004;
+        }
+      in
+      check_scenario (Printf.sprintf "das+airtime/%s" name)
+        (Runner.scenario cfg))
+    links
+
+let test_phantom_family () =
+  let topology = Topology.grid 7 in
+  List.iter
+    (fun (name, link) ->
+      List.iter
+        (fun walk_length ->
+          let cfg = { Phantom_runner.topology; walk_length; link; seed = 3 } in
+          let (fast_r, fast_c), (ref_r, ref_c) =
+            both (Phantom_runner.scenario cfg)
+          in
+          let label = Printf.sprintf "phantom/%s/walk%d" name walk_length in
+          check_counters label ref_c fast_c;
+          Alcotest.(check bool) (label ^ ": captured")
+            ref_r.Phantom_runner.captured fast_r.Phantom_runner.captured;
+          Alcotest.(check (array int)) (label ^ ": broadcasts by node")
+            ref_r.Phantom_runner.broadcasts_by_node
+            fast_r.Phantom_runner.broadcasts_by_node;
+          Alcotest.(check bool) (label ^ ": full results equal") true
+            (fast_r = ref_r))
+        [ 0; 4 ])
+    links
+
+let test_fake_family () =
+  let topology = Topology.grid 5 in
+  let corner = (Graph.n topology.Topology.graph) - 1 in
+  List.iter
+    (fun (name, link) ->
+      let cfg =
+        {
+          Fake_runner.topology;
+          fake_sources = [ corner ];
+          fake_rate_multiplier = 1.0;
+          link;
+          seed = 5;
+        }
+      in
+      check_scenario (Printf.sprintf "fake/%s" name)
+        (Fake_runner.scenario cfg))
+    links
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level comparison: full node states and action traces        *)
+(* ------------------------------------------------------------------ *)
+
+let go_timer = Gcn.Timer.intern "equiv-go"
+
+(* Repeating flooder: node 0 re-floods every second; nodes forward each
+   wave once (state: latest wave heard and who delivered it).  It is
+   broadcast-heavy, so lossy and SNR links draw plenty of randomness. *)
+let wave_program ~self =
+  let init ~self =
+    ( (0, -1),
+      if self = 0 then [ Gcn.Set_timer { timer = go_timer; after = 1.0 } ]
+      else [] )
+  in
+  let go =
+    {
+      Gcn.name = "go";
+      handler =
+        (fun ~self:_ (wave, from) trigger ->
+          match trigger with
+          | Gcn.Timeout tm when Gcn.Timer.equal tm go_timer ->
+            Some
+              ( (wave + 1, from),
+                [
+                  Gcn.Broadcast (wave + 1);
+                  Gcn.Set_timer { timer = go_timer; after = 1.0 };
+                ] )
+          | _ -> None);
+    }
+  in
+  let forward =
+    {
+      Gcn.name = "forward";
+      handler =
+        (fun ~self:_ (wave, _) trigger ->
+          match trigger with
+          | Gcn.Receive { msg; sender } when msg > wave ->
+            Some ((msg, sender), [ Gcn.Broadcast msg ])
+          | _ -> None);
+    }
+  in
+  ignore self;
+  { Gcn.init; actions = [ go; forward ]; spontaneous = [] }
+
+let run_wave ~impl ?airtime link =
+  let topology = Topology.grid 6 in
+  let e =
+    Engine.create ~impl ?airtime ~topology ~link ~rng:(Rng.create 42)
+      ~program:wave_program ()
+  in
+  Engine.run_until e 8.0;
+  e
+
+let check_engines label a b =
+  let n = Graph.n (Engine.topology a).Topology.graph in
+  check_counters label (Engine.counters a) (Engine.counters b);
+  Alcotest.(check (array int)) (label ^ ": broadcasts by node")
+    (Engine.broadcasts_by_node a)
+    (Engine.broadcasts_by_node b);
+  for v = 0 to n - 1 do
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "%s: state of node %d" label v)
+      (Engine.node_state a v) (Engine.node_state b v);
+    Alcotest.(check (list string))
+      (Printf.sprintf "%s: fired trace of node %d" label v)
+      (Engine.node_fired a v) (Engine.node_fired b v)
+  done
+
+let test_engine_states () =
+  List.iter
+    (fun (name, link) ->
+      check_engines name
+        (run_wave ~impl:Engine.Reference link)
+        (run_wave ~impl:Engine.Fast link))
+    links
+
+let test_engine_states_airtime () =
+  List.iter
+    (fun (name, link) ->
+      check_engines (name ^ "+airtime")
+        (run_wave ~impl:Engine.Reference ~airtime:0.003 link)
+        (run_wave ~impl:Engine.Fast ~airtime:0.003 link))
+    links
+
+(* Mid-run stop: a subscriber halts the run at a fixed broadcast count.
+   Both implementations must stop with the same observable state — the
+   fast engine re-checks the halt flag between batched recipients. *)
+let test_stop_equivalence () =
+  let run impl =
+    let topology = Topology.grid 6 in
+    let e =
+      Engine.create ~impl ~topology ~link:(Link_model.Lossy 0.2)
+        ~rng:(Rng.create 9) ~program:wave_program ()
+    in
+    let seen = ref 0 in
+    Engine.subscribe e (fun ev ->
+        match ev with
+        | Event.Broadcast _ ->
+          incr seen;
+          if !seen = 40 then Engine.stop e
+        | _ -> ());
+    Engine.run_until e 100.0;
+    e
+  in
+  check_engines "stop@40" (run Engine.Reference) (run Engine.Fast)
+
+let () =
+  Alcotest.run "engine-equivalence"
+    [
+      ( "scenario families",
+        [
+          Alcotest.test_case "das: all links x modes" `Quick test_das_family;
+          Alcotest.test_case "das with airtime" `Quick test_das_with_airtime;
+          Alcotest.test_case "phantom: all links x walks" `Quick
+            test_phantom_family;
+          Alcotest.test_case "fake sources: all links" `Quick test_fake_family;
+        ] );
+      ( "engine internals",
+        [
+          Alcotest.test_case "states + traces, all links" `Quick
+            test_engine_states;
+          Alcotest.test_case "states + traces with airtime" `Quick
+            test_engine_states_airtime;
+          Alcotest.test_case "mid-run stop" `Quick test_stop_equivalence;
+        ] );
+    ]

@@ -2,6 +2,12 @@
 
 module Gcn = Slpdas_gcn
 
+let t_timer = Gcn.Timer.intern "t"
+
+let x_timer = Gcn.Timer.intern "x"
+
+let go_timer = Gcn.Timer.intern "go"
+
 (* A small counter program used throughout:
    - "tick" on Timeout "t": increments and re-arms;
    - "recv" on Receive: adds the payload, broadcasts the running total;
@@ -11,7 +17,8 @@ type counter = { count : int; latched : bool }
 
 let counter_program =
   let init ~self:_ =
-    ({ count = 0; latched = false }, [ Gcn.Set_timer { name = "t"; after = 1.0 } ])
+    ( { count = 0; latched = false },
+      [ Gcn.Set_timer { timer = t_timer; after = 1.0 } ] )
   in
   let tick =
     {
@@ -19,10 +26,10 @@ let counter_program =
       handler =
         (fun ~self:_ s trigger ->
           match trigger with
-          | Gcn.Timeout "t" ->
+          | Gcn.Timeout t when Gcn.Timer.equal t t_timer ->
             Some
               ( { s with count = s.count + 1 },
-                [ Gcn.Set_timer { name = "t"; after = 1.0 } ] )
+                [ Gcn.Set_timer { timer = t_timer; after = 1.0 } ] )
           | _ -> None);
     }
   in
@@ -50,20 +57,22 @@ let test_init_effects () =
   let _, effects = Gcn.Instance.create counter_program ~self:3 in
   Alcotest.(check int) "one boot effect" 1 (List.length effects);
   match effects with
-  | [ Gcn.Set_timer { name; after } ] ->
-    Alcotest.(check string) "timer name" "t" name;
+  | [ Gcn.Set_timer { timer; after } ] ->
+    Alcotest.(check string) "timer name" "t" (Gcn.Timer.name timer);
     Alcotest.(check (float 1e-9)) "delay" 1.0 after
   | _ -> Alcotest.fail "expected a Set_timer effect"
 
 let test_timeout_dispatch () =
   let inst, _ = Gcn.Instance.create counter_program ~self:0 in
-  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "t") in
+  let effects = Gcn.Instance.deliver inst (Gcn.Timeout t_timer) in
   Alcotest.(check int) "count" 1 (Gcn.Instance.state inst).count;
   Alcotest.(check int) "rearm effect" 1 (List.length effects)
 
 let test_unknown_timeout_ignored () =
   let inst, _ = Gcn.Instance.create counter_program ~self:0 in
-  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "nope") in
+  let effects =
+    Gcn.Instance.deliver inst (Gcn.Timeout (Gcn.Timer.intern "nope"))
+  in
   Alcotest.(check int) "no effects" 0 (List.length effects);
   Alcotest.(check int) "state unchanged" 0 (Gcn.Instance.state inst).count
 
@@ -82,32 +91,34 @@ let test_spontaneous_fires_once () =
   Alcotest.(check int) "two effects" 2 (List.length effects);
   Alcotest.(check bool) "latched" true (Gcn.Instance.state inst).latched;
   (* Further triggers do not re-fire the latched spontaneous action. *)
-  let effects2 = Gcn.Instance.deliver inst (Gcn.Timeout "t") in
+  let effects2 = Gcn.Instance.deliver inst (Gcn.Timeout t_timer) in
   Alcotest.(check int) "only rearm" 1 (List.length effects2)
 
 let test_fired_trace () =
   let inst, _ = Gcn.Instance.create counter_program ~self:0 in
-  ignore (Gcn.Instance.deliver inst (Gcn.Timeout "t"));
+  ignore (Gcn.Instance.deliver inst (Gcn.Timeout t_timer));
   ignore (Gcn.Instance.deliver inst (Gcn.Receive { sender = 1; msg = 12 }));
   Alcotest.(check (list string)) "event trace (most recent first)"
     [ "sat"; "recv"; "tick"; "init" ]
     (Gcn.Instance.fired inst)
 
 let test_first_enabled_action_wins () =
-  (* Two actions both match Timeout "x"; declaration order decides. *)
+  (* Two actions both match the same timeout; declaration order decides. *)
   let mk name v =
     {
       Gcn.name;
       handler =
         (fun ~self:_ _s trigger ->
-          match trigger with Gcn.Timeout "x" -> Some (v, []) | _ -> None);
+          match trigger with
+          | Gcn.Timeout t when Gcn.Timer.equal t x_timer -> Some (v, [])
+          | _ -> None);
     }
   in
   let program =
     { Gcn.init = (fun ~self:_ -> (0, [])); actions = [ mk "a" 1; mk "b" 2 ]; spontaneous = [] }
   in
   let inst, _ = Gcn.Instance.create program ~self:0 in
-  ignore (Gcn.Instance.deliver inst (Gcn.Timeout "x"));
+  ignore (Gcn.Instance.deliver inst (Gcn.Timeout x_timer));
   Alcotest.(check int) "first action fired" 1 (Gcn.Instance.state inst)
 
 let test_guard_false_falls_through () =
@@ -198,14 +209,16 @@ let test_spontaneous_chain () =
       Gcn.name = "bump";
       handler =
         (fun ~self:_ (_, y) trigger ->
-          match trigger with Gcn.Timeout "go" -> Some ((1, y), []) | _ -> None);
+          match trigger with
+          | Gcn.Timeout t when Gcn.Timer.equal t go_timer -> Some ((1, y), [])
+          | _ -> None);
     }
   in
   let program =
     { Gcn.init = (fun ~self:_ -> ((0, false), [])); actions = [ bump ]; spontaneous = [ a; b ] }
   in
   let inst, _ = Gcn.Instance.create program ~self:0 in
-  let effects = Gcn.Instance.deliver inst (Gcn.Timeout "go") in
+  let effects = Gcn.Instance.deliver inst (Gcn.Timeout go_timer) in
   Alcotest.(check int) "both spontaneous effects" 2 (List.length effects);
   Alcotest.(check (list string)) "order a then b"
     [ "b"; "a"; "bump"; "init" ]
@@ -222,6 +235,49 @@ let test_self_passed_to_handlers () =
   let inst, _ = Gcn.Instance.create program ~self:17 in
   Alcotest.(check int) "self" 17 (Gcn.Instance.self inst);
   Alcotest.(check int) "state init saw self" 17 (Gcn.Instance.state inst)
+
+(* ------------------------------------------------------------------ *)
+(* Timer interning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_idempotent () =
+  let a = Gcn.Timer.intern "idem-test" in
+  let b = Gcn.Timer.intern "idem-test" in
+  Alcotest.(check bool) "same id" true (Gcn.Timer.equal a b);
+  Alcotest.(check int) "ids equal" (Gcn.Timer.id a) (Gcn.Timer.id b);
+  Alcotest.(check string) "name round-trips" "idem-test" (Gcn.Timer.name a)
+
+let test_intern_distinct () =
+  let a = Gcn.Timer.intern "distinct-a" in
+  let b = Gcn.Timer.intern "distinct-b" in
+  Alcotest.(check bool) "different ids" false (Gcn.Timer.equal a b);
+  Alcotest.(check bool) "compare is consistent" true
+    (Gcn.Timer.compare a b <> 0)
+
+let test_intern_ids_dense () =
+  let before = Gcn.Timer.count () in
+  let t = Gcn.Timer.intern (Printf.sprintf "dense-%d" before) in
+  Alcotest.(check int) "fresh name gets the next id" before (Gcn.Timer.id t);
+  Alcotest.(check int) "count grows by one" (before + 1) (Gcn.Timer.count ())
+
+let test_intern_across_domains () =
+  (* All domains racing to intern the same names must agree on the ids. *)
+  let names = List.init 16 (Printf.sprintf "race-%d") in
+  let worker () = List.map (fun n -> Gcn.Timer.id (Gcn.Timer.intern n)) names in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let local = worker () in
+  List.iter
+    (fun d ->
+      Alcotest.(check (list int)) "domain agrees with main" local
+        (Domain.join d))
+    domains;
+  (* And the registry kept names resolvable. *)
+  List.iter2
+    (fun n id ->
+      Alcotest.(check string) "name resolvable" n
+        (Gcn.Timer.name (Gcn.Timer.intern (Gcn.Timer.name (Gcn.Timer.intern n))));
+      ignore id)
+    names local
 
 let () =
   Alcotest.run "gcn"
@@ -245,5 +301,14 @@ let () =
             test_divergent_spontaneous_detected;
           Alcotest.test_case "spontaneous chain" `Quick test_spontaneous_chain;
           Alcotest.test_case "self propagated" `Quick test_self_passed_to_handlers;
+        ] );
+      ( "timer interning",
+        [
+          Alcotest.test_case "idempotent" `Quick test_intern_idempotent;
+          Alcotest.test_case "distinct names, distinct ids" `Quick
+            test_intern_distinct;
+          Alcotest.test_case "dense ids" `Quick test_intern_ids_dense;
+          Alcotest.test_case "cross-domain agreement" `Quick
+            test_intern_across_domains;
         ] );
     ]

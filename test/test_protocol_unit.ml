@@ -49,7 +49,9 @@ let hello inst ~from =
 
 let timer_names effects =
   List.filter_map
-    (function Gcn.Set_timer { name; _ } -> Some name | _ -> None)
+    (function
+      | Gcn.Set_timer { timer; _ } -> Some (Gcn.Timer.name timer)
+      | _ -> None)
     effects
   |> List.sort compare
 
@@ -185,7 +187,7 @@ let assign_via_process inst ~parents ~competitors =
                     ();
               })))
     parents;
-  ignore (deliver inst (Gcn.Timeout "process"))
+  ignore (deliver inst (Gcn.Timeout Protocol.Timer.process))
 
 let test_process_assigns_slot_below_parent () =
   let inst, _ = boot ~self:0 () in
@@ -224,7 +226,7 @@ let test_process_sibling_ranks_distinct () =
 
 let test_process_without_parents_is_noop () =
   let inst, _ = boot ~self:0 () in
-  ignore (deliver inst (Gcn.Timeout "process"));
+  ignore (deliver inst (Gcn.Timeout Protocol.Timer.process));
   Alcotest.(check (option int)) "still unassigned" None (state inst).Protocol.slot
 
 let test_process_collision_decrement () =
@@ -239,7 +241,7 @@ let test_process_collision_decrement () =
   ignore
     (deliver inst
        (Gcn.Receive { sender = 1; msg = dissem ~info:[ (7, ninfo 1 before) ] () }));
-  ignore (deliver inst (Gcn.Timeout "process"));
+  ignore (deliver inst (Gcn.Timeout Protocol.Timer.process));
   (match (state inst).Protocol.slot with
   | Some after -> Alcotest.(check int) "decremented" (before - 1) after
   | None -> Alcotest.fail "lost the slot");
@@ -255,7 +257,7 @@ let test_process_collision_winner_keeps_slot () =
   ignore
     (deliver inst
        (Gcn.Receive { sender = 1; msg = dissem ~info:[ (7, ninfo 9 before) ] () }));
-  ignore (deliver inst (Gcn.Timeout "process"));
+  ignore (deliver inst (Gcn.Timeout Protocol.Timer.process));
   match (state inst).Protocol.slot with
   | Some after -> Alcotest.(check int) "kept" before after
   | None -> Alcotest.fail "lost the slot"
@@ -476,27 +478,27 @@ let test_dissem_budget_exhausts () =
      may send at most DT = 5 times. *)
   let sent = ref 0 in
   for _ = 1 to 10 do
-    sent := !sent + count_dissems (deliver inst (Gcn.Timeout "dissem"))
+    sent := !sent + count_dissems (deliver inst (Gcn.Timeout Protocol.Timer.dissem))
   done;
   Alcotest.(check int) "DT bounds repeats" 5 !sent
 
 let test_dissem_budget_resets_on_change () =
   let inst, _ = boot ~self:9 () in
   for _ = 1 to 10 do
-    ignore (deliver inst (Gcn.Timeout "dissem"))
+    ignore (deliver inst (Gcn.Timeout Protocol.Timer.dissem))
   done;
   (* Learning a new neighbour changes the payload: budget refreshes. *)
   hello inst ~from:4;
   let sent = ref 0 in
   for _ = 1 to 10 do
-    sent := !sent + count_dissems (deliver inst (Gcn.Timeout "dissem"))
+    sent := !sent + count_dissems (deliver inst (Gcn.Timeout Protocol.Timer.dissem))
   done;
   Alcotest.(check int) "budget refreshed" 5 !sent
 
 let test_unassigned_node_does_not_disseminate () =
   let inst, _ = boot ~self:0 () in
   Alcotest.(check int) "nothing to say" 0
-    (count_dissems (deliver inst (Gcn.Timeout "dissem")))
+    (count_dissems (deliver inst (Gcn.Timeout Protocol.Timer.dissem)))
 
 (* ------------------------------------------------------------------ *)
 (* Normal phase timers                                                *)
@@ -506,11 +508,12 @@ let test_period_timer_schedules_tx_at_slot () =
   let inst, _ = boot ~self:0 () in
   assign_via_process inst ~parents:[ (1, 1, 97) ] ~competitors:[ 0 ];
   let slot = Option.get (state inst).Protocol.slot in
-  let effects = deliver inst (Gcn.Timeout "period") in
+  let effects = deliver inst (Gcn.Timeout Protocol.Timer.period) in
   let tx_delay =
     List.find_map
       (function
-        | Gcn.Set_timer { name = "tx"; after } -> Some after
+        | Gcn.Set_timer { timer; after }
+          when Gcn.Timer.equal timer Protocol.Timer.tx -> Some after
         | _ -> None)
       effects
   in
@@ -520,7 +523,7 @@ let test_period_timer_schedules_tx_at_slot () =
 
 let test_sink_period_timer_never_tx () =
   let inst, _ = boot ~self:9 () in
-  let effects = deliver inst (Gcn.Timeout "period") in
+  let effects = deliver inst (Gcn.Timeout Protocol.Timer.period) in
   Alcotest.(check (list string)) "only the period rearm" [ "period" ]
     (timer_names effects)
 
@@ -540,7 +543,7 @@ let test_tx_broadcasts_pending_readings () =
             sender = 5;
             msg = Messages.Data { origin = 5; seq = 0; readings = [ (8, 3); (8, 4) ] };
           }));
-  let effects = deliver inst (Gcn.Timeout "tx") in
+  let effects = deliver inst (Gcn.Timeout Protocol.Timer.tx) in
   (match broadcasts effects with
   | [ Messages.Data { readings; _ } ] ->
     Alcotest.(check (list (pair int int))) "aggregate forwarded" [ (8, 3); (8, 4) ]
@@ -605,7 +608,7 @@ let prop_slot_monotone =
                       sender;
                       msg = dissem ~info:[ (0, None); (sender, ninfo hop slot) ] ();
                     }))
-          | `Process -> ignore (deliver inst (Gcn.Timeout "process"))
+          | `Process -> ignore (deliver inst (Gcn.Timeout Protocol.Timer.process))
           | `Change (sender, base) ->
             ignore
               (deliver inst

@@ -6,12 +6,17 @@ module Link_model = Slpdas_sim.Link_model
 module Topology = Slpdas_wsn.Topology
 module Rng = Slpdas_util.Rng
 
+let go_timer = Gcn.Timer.intern "go"
+
+let x_timer = Gcn.Timer.intern "x"
+
 (* Flooding program: node 0 broadcasts "flood" at t=1; every node forwards a
    message the first time it hears it.  State: has the node forwarded? *)
 let flood_program ~self =
   let init ~self =
     ( false,
-      if self = 0 then [ Gcn.Set_timer { name = "go"; after = 1.0 } ] else [] )
+      if self = 0 then [ Gcn.Set_timer { timer = go_timer; after = 1.0 } ]
+      else [] )
   in
   let go =
     {
@@ -19,7 +24,8 @@ let flood_program ~self =
       handler =
         (fun ~self:_ _s trigger ->
           match trigger with
-          | Gcn.Timeout "go" -> Some (true, [ Gcn.Broadcast "flood" ])
+          | Gcn.Timeout t when Gcn.Timer.equal t go_timer ->
+            Some (true, [ Gcn.Broadcast "flood" ])
           | _ -> None);
     }
   in
@@ -37,9 +43,10 @@ let flood_program ~self =
   ignore self;
   { Gcn.init; actions = [ go; forward ]; spontaneous = [] }
 
-let make_engine ?(link = Link_model.Ideal) ?(dim = 5) () =
+let make_engine ?impl ?(link = Link_model.Ideal) ?(dim = 5) () =
   let topology = Topology.grid dim in
-  Engine.create ~topology ~link ~rng:(Rng.create 1) ~program:flood_program ()
+  Engine.create ?impl ~topology ~link ~rng:(Rng.create 1)
+    ~program:flood_program ()
 
 (* ------------------------------------------------------------------ *)
 (* Engine basics                                                      *)
@@ -150,52 +157,80 @@ let test_node_fired_trace () =
     Alcotest.failf "unexpected trace for node 4: %s" (String.concat "," trace)
 
 (* Timer semantics: a rearmed timer supersedes the old deadline. *)
-let test_timer_reset_supersedes () =
-  let program ~self:_ =
-    let init ~self:_ =
-      ( 0,
-        [
-          Gcn.Set_timer { name = "x"; after = 5.0 };
-          (* immediately rearm: only the later deadline should fire *)
-          Gcn.Set_timer { name = "x"; after = 8.0 };
-        ] )
-    in
-    let x =
-      {
-        Gcn.name = "x";
-        handler =
-          (fun ~self:_ s trigger ->
-            match trigger with Gcn.Timeout "x" -> Some (s + 1, []) | _ -> None);
-      }
-    in
-    { Gcn.init; actions = [ x ]; spontaneous = [] }
+let count_x_program ~effects ~self:_ =
+  let init ~self:_ = (0, effects) in
+  let x =
+    {
+      Gcn.name = "x";
+      handler =
+        (fun ~self:_ s trigger ->
+          match trigger with
+          | Gcn.Timeout t when Gcn.Timer.equal t x_timer -> Some (s + 1, [])
+          | _ -> None);
+    }
+  in
+  { Gcn.init; actions = [ x ]; spontaneous = [] }
+
+let test_timer_reset_supersedes ~impl () =
+  let effects =
+    [
+      Gcn.Set_timer { timer = x_timer; after = 5.0 };
+      (* immediately rearm: only the later deadline should fire *)
+      Gcn.Set_timer { timer = x_timer; after = 8.0 };
+    ]
   in
   let topology = Topology.line 2 in
-  let e = Engine.create ~topology ~link:Link_model.Ideal ~rng:(Rng.create 1) ~program () in
+  let e =
+    Engine.create ~impl ~topology ~link:Link_model.Ideal ~rng:(Rng.create 1)
+      ~program:(count_x_program ~effects) ()
+  in
   Engine.run_until e 6.0;
   Alcotest.(check int) "not fired at the stale deadline" 0 (Engine.node_state e 0);
   Engine.run_until e 9.0;
   Alcotest.(check int) "fired once at the new deadline" 1 (Engine.node_state e 0)
 
-let test_stop_timer_cancels () =
-  let program ~self:_ =
-    let init ~self:_ =
-      (0, [ Gcn.Set_timer { name = "x"; after = 2.0 }; Gcn.Stop_timer "x" ])
-    in
-    let x =
-      {
-        Gcn.name = "x";
-        handler =
-          (fun ~self:_ s trigger ->
-            match trigger with Gcn.Timeout "x" -> Some (s + 1, []) | _ -> None);
-      }
-    in
-    { Gcn.init; actions = [ x ]; spontaneous = [] }
+let test_stop_timer_cancels ~impl () =
+  let effects =
+    [ Gcn.Set_timer { timer = x_timer; after = 2.0 }; Gcn.Stop_timer x_timer ]
   in
   let topology = Topology.line 2 in
-  let e = Engine.create ~topology ~link:Link_model.Ideal ~rng:(Rng.create 1) ~program () in
+  let e =
+    Engine.create ~impl ~topology ~link:Link_model.Ideal ~rng:(Rng.create 1)
+      ~program:(count_x_program ~effects) ()
+  in
   Engine.run_until e 10.0;
   Alcotest.(check int) "cancelled" 0 (Engine.node_state e 0)
+
+(* Timers interned only after engine creation must still work: the fast
+   impl's per-node generation rows grow on demand. *)
+let test_late_interned_timer ~impl () =
+  let fresh =
+    Gcn.Timer.intern (Printf.sprintf "late-%d" (Gcn.Timer.count ()))
+  in
+  let effects = [ Gcn.Set_timer { timer = x_timer; after = 1.0 } ] in
+  let program ~self =
+    let p = count_x_program ~effects ~self in
+    let late =
+      {
+        Gcn.name = "late";
+        handler =
+          (fun ~self:_ s trigger ->
+            match trigger with
+            | Gcn.Timeout t when Gcn.Timer.equal t fresh -> Some (s + 100, [])
+            | Gcn.Timeout t when Gcn.Timer.equal t x_timer ->
+              Some (s, [ Gcn.Set_timer { timer = fresh; after = 1.0 } ])
+            | _ -> None);
+      }
+    in
+    { p with Gcn.actions = [ late ] }
+  in
+  let topology = Topology.line 2 in
+  let e =
+    Engine.create ~impl ~topology ~link:Link_model.Ideal ~rng:(Rng.create 1)
+      ~program ()
+  in
+  Engine.run_until e 10.0;
+  Alcotest.(check int) "late timer fired" 100 (Engine.node_state e 0)
 
 (* ------------------------------------------------------------------ *)
 (* Destructive interference (airtime)                                 *)
@@ -206,8 +241,8 @@ let test_stop_timer_cancels () =
 let two_senders_program ~at0 ~at2 ~self =
   let init ~self =
     ( 0,
-      if self = 0 then [ Gcn.Set_timer { name = "go"; after = at0 } ]
-      else if self = 2 then [ Gcn.Set_timer { name = "go"; after = at2 } ]
+      if self = 0 then [ Gcn.Set_timer { timer = go_timer; after = at0 } ]
+      else if self = 2 then [ Gcn.Set_timer { timer = go_timer; after = at2 } ]
       else [] )
   in
   let go =
@@ -216,7 +251,8 @@ let two_senders_program ~at0 ~at2 ~self =
       handler =
         (fun ~self:_ s trigger ->
           match trigger with
-          | Gcn.Timeout "go" -> Some (s, [ Gcn.Broadcast "hi" ])
+          | Gcn.Timeout t when Gcn.Timer.equal t go_timer ->
+            Some (s, [ Gcn.Broadcast "hi" ])
           | _ -> None);
     }
   in
@@ -231,10 +267,10 @@ let two_senders_program ~at0 ~at2 ~self =
   ignore self;
   { Gcn.init; actions = [ go; hear ]; spontaneous = [] }
 
-let run_two_senders ?airtime ~at0 ~at2 () =
+let run_two_senders ?impl ?airtime ~at0 ~at2 () =
   let topology = Topology.line 3 in
   let e =
-    Engine.create ?airtime ~topology ~link:Link_model.Ideal
+    Engine.create ?impl ?airtime ~topology ~link:Link_model.Ideal
       ~rng:(Rng.create 1)
       ~program:(fun ~self -> two_senders_program ~at0 ~at2 ~self)
       ()
@@ -260,14 +296,15 @@ let test_interference_half_duplex () =
      to the other (overlap + half-duplex). *)
   let topology = Topology.line 2 in
   let program ~self:_ =
-    let init ~self:_ = (0, [ Gcn.Set_timer { name = "go"; after = 1.0 } ]) in
+    let init ~self:_ = (0, [ Gcn.Set_timer { timer = go_timer; after = 1.0 } ]) in
     let go =
       {
         Gcn.name = "go";
         handler =
           (fun ~self:_ s trigger ->
             match trigger with
-            | Gcn.Timeout "go" -> Some (s, [ Gcn.Broadcast "hi" ])
+            | Gcn.Timeout t when Gcn.Timer.equal t go_timer ->
+              Some (s, [ Gcn.Broadcast "hi" ])
             | _ -> None);
       }
     in
@@ -296,43 +333,48 @@ let test_interference_tdma_slots_avoid_it () =
     (run_two_senders ~airtime:0.002 ~at0:1.0 ~at2:1.05 ())
 
 (* ------------------------------------------------------------------ *)
-(* Trace recording                                                    *)
+(* Broadcast logging on the event bus (the former Trace module)       *)
 (* ------------------------------------------------------------------ *)
 
-let test_trace_records_broadcasts () =
+(* Record every broadcast as (time, sender, label), oldest first — what
+   Trace.attach used to do, as a three-line subscriber. *)
+let broadcast_log e ~describe =
+  let log = ref [] in
+  Engine.subscribe e (function
+    | Slpdas_sim.Event.Broadcast { time; sender; msg } ->
+      log := (time, sender, describe msg) :: !log
+    | _ -> ());
+  fun () -> List.rev !log
+
+let test_bus_records_broadcasts () =
   let e = make_engine ~dim:3 () in
-  let trace = Slpdas_sim.Trace.attach e ~describe:(fun m -> m) in
+  let log = broadcast_log e ~describe:(fun m -> m) in
   Engine.run_until e 10.0;
+  let entries = log () in
   Alcotest.(check int) "one entry per broadcast" (Engine.broadcasts e)
-    (Slpdas_sim.Trace.length trace);
-  let entries = Slpdas_sim.Trace.entries trace in
-  Alcotest.(check int) "first sender is the initiator" 0
-    (List.hd entries).Slpdas_sim.Trace.sender;
-  Alcotest.(check string) "label" "flood" (List.hd entries).Slpdas_sim.Trace.label;
+    (List.length entries);
+  let t0, sender0, label0 = List.hd entries in
+  Alcotest.(check int) "first sender is the initiator" 0 sender0;
+  Alcotest.(check string) "label" "flood" label0;
+  Alcotest.(check (float 1e-9)) "starts at the go timer" 1.0 t0;
   let rec times_increase = function
-    | a :: (b :: _ as rest) ->
-      a.Slpdas_sim.Trace.time <= b.Slpdas_sim.Trace.time && times_increase rest
+    | (a, _, _) :: ((b, _, _) :: _ as rest) -> a <= b && times_increase rest
     | _ -> true
   in
   Alcotest.(check bool) "chronological" true (times_increase entries)
 
-let test_trace_capacity () =
+let test_bus_time_window () =
   let e = make_engine ~dim:3 () in
-  let trace = Slpdas_sim.Trace.attach ~capacity:4 e ~describe:(fun m -> m) in
+  let log = broadcast_log e ~describe:(fun m -> m) in
   Engine.run_until e 10.0;
-  Alcotest.(check int) "capped" 4 (Slpdas_sim.Trace.length trace);
-  Alcotest.(check int) "dropped counted" (Engine.broadcasts e - 4)
-    (Slpdas_sim.Trace.dropped trace)
-
-let test_trace_between () =
-  let e = make_engine ~dim:3 () in
-  let trace = Slpdas_sim.Trace.attach e ~describe:(fun m -> m) in
-  Engine.run_until e 10.0;
+  let between ~since ~until =
+    List.filter (fun (t, _, _) -> since <= t && t < until) (log ())
+  in
   (* Node 0 fires at t=1; forwards happen shortly after. *)
   Alcotest.(check int) "nothing before the start" 0
-    (List.length (Slpdas_sim.Trace.between trace ~since:0.0 ~until:1.0));
+    (List.length (between ~since:0.0 ~until:1.0));
   Alcotest.(check int) "everything afterwards" (Engine.broadcasts e)
-    (List.length (Slpdas_sim.Trace.between trace ~since:1.0 ~until:10.0))
+    (List.length (between ~since:1.0 ~until:10.0))
 
 (* ------------------------------------------------------------------ *)
 (* Event bus                                                          *)
@@ -568,8 +610,18 @@ let () =
           Alcotest.test_case "inject" `Quick test_inject_trigger;
           Alcotest.test_case "step" `Quick test_step_granularity;
           Alcotest.test_case "fired traces" `Quick test_node_fired_trace;
-          Alcotest.test_case "timer reset" `Quick test_timer_reset_supersedes;
-          Alcotest.test_case "timer cancel" `Quick test_stop_timer_cancels;
+          Alcotest.test_case "timer reset" `Quick
+            (test_timer_reset_supersedes ~impl:Engine.Fast);
+          Alcotest.test_case "timer reset (reference)" `Quick
+            (test_timer_reset_supersedes ~impl:Engine.Reference);
+          Alcotest.test_case "timer cancel" `Quick
+            (test_stop_timer_cancels ~impl:Engine.Fast);
+          Alcotest.test_case "timer cancel (reference)" `Quick
+            (test_stop_timer_cancels ~impl:Engine.Reference);
+          Alcotest.test_case "late-interned timer" `Quick
+            (test_late_interned_timer ~impl:Engine.Fast);
+          Alcotest.test_case "late-interned timer (reference)" `Quick
+            (test_late_interned_timer ~impl:Engine.Reference);
         ] );
       ( "interference",
         [
@@ -580,11 +632,11 @@ let () =
           Alcotest.test_case "TDMA slots avoid it" `Quick
             test_interference_tdma_slots_avoid_it;
         ] );
-      ( "trace",
+      ( "broadcast log",
         [
-          Alcotest.test_case "records broadcasts" `Quick test_trace_records_broadcasts;
-          Alcotest.test_case "capacity" `Quick test_trace_capacity;
-          Alcotest.test_case "between" `Quick test_trace_between;
+          Alcotest.test_case "records broadcasts" `Quick
+            test_bus_records_broadcasts;
+          Alcotest.test_case "time window" `Quick test_bus_time_window;
         ] );
       ( "events",
         [

@@ -1,12 +1,17 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test bench bench-smoke bench-determinism clean
+.PHONY: build test lint bench bench-smoke bench-determinism clean
 
 build:
 	dune build @all
 
 test:
 	dune runtest
+
+# Project-specific static analysis (see DESIGN.md "Static analysis").
+# Exits non-zero on any unsuppressed diagnostic.
+lint:
+	dune exec bin/slp_lint.exe -- lib bin bench
 
 # Full harness: every table/figure of the paper plus ablations (minutes).
 bench:

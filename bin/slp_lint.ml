@@ -1,0 +1,124 @@
+(* slp-lint CLI: parse every .ml under the given roots, run the project
+   rule set, print diagnostics (human or --json) and exit non-zero if any
+   survive suppression.  See DESIGN.md "Static analysis". *)
+
+open Slpdas_lint
+
+let default_allowlist_file = ".slp-lint-allowlist"
+
+let resolve_rules = function
+  | None -> Ok Rules.all
+  | Some spec ->
+    let names =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> not (String.equal s ""))
+    in
+    let unknown =
+      List.filter (fun n -> Option.is_none (Rules.find n)) names
+    in
+    if not (List.is_empty unknown) then
+      Error
+        (Printf.sprintf "unknown rule(s): %s (known: %s)"
+           (String.concat ", " unknown)
+           (String.concat ", " Rules.names))
+    else Ok (List.filter_map Rules.find names)
+
+let resolve_allowlist = function
+  | Some path ->
+    if Sys.file_exists path then
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (Suppress.parse_allowlist (Driver.read_file path))
+    else Error (Printf.sprintf "allowlist %s does not exist" path)
+  | None ->
+    if Sys.file_exists default_allowlist_file then
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" default_allowlist_file e)
+        (Suppress.parse_allowlist (Driver.read_file default_allowlist_file))
+    else Ok (Suppress.empty_allowlist ())
+
+let list_rules () =
+  List.iter
+    (fun r ->
+      print_string r.Rules.name;
+      print_string "\n  ";
+      print_string r.Rules.summary;
+      print_newline ())
+    Rules.all;
+  0
+
+let lint roots json rules_spec allowlist_path list_rules_flag =
+  if list_rules_flag then list_rules ()
+  else
+    match resolve_rules rules_spec with
+    | Error e ->
+      prerr_endline ("slp-lint: " ^ e);
+      2
+    | Ok rules -> (
+      match resolve_allowlist allowlist_path with
+      | Error e ->
+        prerr_endline ("slp-lint: " ^ e);
+        2
+      | Ok allowlist ->
+        let config = { Driver.rules; allowlist } in
+        let diags = Driver.run config ~roots in
+        let buf = Buffer.create 4096 in
+        if json then Reporter.json buf diags else Reporter.human buf diags;
+        print_string (Buffer.contents buf);
+        if List.is_empty diags then 0 else 1)
+
+open Cmdliner
+
+let roots_arg =
+  let doc = "Files or directories to lint (default: lib bin bench)." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench" ] & info [] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc = "Emit diagnostics as JSON instead of compiler-style lines." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let rules_arg =
+  let doc =
+    "Comma-separated rule subset to run (default: every rule). See \
+     $(b,--list-rules)."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let allowlist_arg =
+  let doc =
+    "Allowlist file of '<path> <rule>' legacy exemptions (default: \
+     .slp-lint-allowlist if present)."
+  in
+  Arg.(value & opt (some string) None & info [ "allowlist" ] ~docv:"FILE" ~doc)
+
+let list_rules_arg =
+  let doc = "Print the rule set with rationales and exit." in
+  Arg.(value & flag & info [ "list-rules" ] ~doc)
+
+let cmd =
+  let doc = "project static analysis for slp-das" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml under the given roots and enforces the project \
+         invariants no compiler checks: determinism (no ambient randomness \
+         or wall-clock reads, no hash-order-dependent aggregation), domain \
+         safety (no unsynchronized mutable captures in pool tasks) and \
+         hot-path discipline (no polymorphic compares, no stray stdout). \
+         Exits 1 if any diagnostic survives suppression, 2 on usage errors.";
+      `P
+        "Suppress a deliberate one-off with a comment: (* slp-lint: allow \
+         RULE *) on the offending line or the line above; allow-file makes \
+         it file-wide. Legacy surfaces go in .slp-lint-allowlist with a \
+         justification comment.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "slp_lint" ~doc ~man)
+    Term.(
+      const lint $ roots_arg $ json_arg $ rules_arg $ allowlist_arg
+      $ list_rules_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -65,7 +65,7 @@ let vulnerable t =
       | Verifier.Safe -> None
       | Verifier.Captured _ -> Some v.source)
     t.verdicts
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let pp_grid ~dim ppf t =
   let lookup = Hashtbl.create (dim * dim) in

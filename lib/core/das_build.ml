@@ -29,7 +29,10 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
   let hop = Slpdas_wsn.Graph.bfs_distances g sink in
   let by_hop =
     List.sort
-      (fun a b -> compare (hop.(a), a) (hop.(b), b))
+      (fun a b ->
+        match Int.compare hop.(a) hop.(b) with
+        | 0 -> Int.compare a b
+        | c -> c)
       (List.init n (fun v -> v))
   in
   let fuel = ref ((50 * n) + 100) in
@@ -217,7 +220,10 @@ let build_compact ?rng g ~sink =
   let order =
     List.init n (fun v -> v)
     |> List.filter (fun v -> v <> sink && hop.(v) > 0)
-    |> List.sort (fun a b -> compare (-hop.(a), a) (-hop.(b), b))
+    |> List.sort (fun a b ->
+           match Int.compare hop.(b) hop.(a) with
+           | 0 -> Int.compare a b
+           | c -> c)
   in
   let order =
     match rng with
@@ -225,7 +231,9 @@ let build_compact ?rng g ~sink =
     | Some r ->
       (* Shuffle within equal-hop groups only, preserving leaves-first. *)
       List.map (fun v -> ((-hop.(v), Slpdas_util.Rng.int r 1_000_000), v)) order
-      |> List.sort compare |> List.map snd
+      |> List.sort
+           (Slpdas_util.Order.pair Slpdas_util.Order.int_pair Int.compare)
+      |> List.map snd
   in
   List.iter
     (fun v ->

@@ -17,6 +17,24 @@ let pp_violation ppf = function
 
 let violation_to_string v = Format.asprintf "%a" pp_violation v
 
+(* Monomorphic total order for violation reports (stable, readable output
+   without the polymorphic compare the slp-lint poly-compare rule bans). *)
+let violation_key = function
+  | Unassigned v -> (0, v, 0, 0)
+  | Collision { a; b; slot } -> (1, a, b, slot)
+  | Early_parent { node; parent } -> (2, node, parent, 0)
+  | No_forwarder { node } -> (3, node, 0, 0)
+
+let compare_violation x y =
+  let k1, a1, b1, c1 = violation_key x and k2, a2, b2, c2 = violation_key y in
+  match Int.compare k1 k2 with
+  | 0 -> (
+    match Int.compare a1 a2 with
+    | 0 -> (
+      match Int.compare b1 b2 with 0 -> Int.compare c1 c2 | c -> c)
+    | c -> c)
+  | c -> c
+
 let non_colliding g sched v =
   match Schedule.slot sched v with
   | None -> false
@@ -37,7 +55,7 @@ let collisions g sched =
             acc := Collision { a = v; b = m; slot = s } :: !acc)
         (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
   done;
-  List.sort compare !acc
+  List.sort compare_violation !acc
 
 let unassigned sched =
   let acc = ref [] in

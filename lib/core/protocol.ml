@@ -266,7 +266,7 @@ let choose_parent_and_slot ~self s =
         List.filter_map
           (fun (k, h) -> if h = min_hop then Some k else None)
           ((k0, h0) :: rest)
-        |> List.sort compare
+        |> List.sort Int.compare
       in
       let parent = Slpdas_util.Rng.choose s.rng candidates in
       let competitors =
@@ -277,7 +277,7 @@ let choose_parent_and_slot ~self s =
         Int_set.elements competitors
         |> List.map (fun v ->
                (rank_key ~seed:s.config.run_seed ~parent ~node:v, v))
-        |> List.sort compare
+        |> List.sort Slpdas_util.Order.int_pair
         |> List.map snd
       in
       let rec index i = function
@@ -392,7 +392,9 @@ let min_slot_child s =
         match ninfo_slot s c with Some x -> (x, c) :: acc | None -> acc)
       s.children []
   in
-  match List.sort compare candidates with [] -> None | (_, c) :: _ -> Some c
+  match List.sort Slpdas_util.Order.int_pair candidates with
+  | [] -> None
+  | (_, c) :: _ -> Some c
 
 let alternates s =
   let base = Int_set.diff s.npar s.from_ in
@@ -418,7 +420,7 @@ let on_search ~self s ~sender ~target ~ttl =
                s.from_)
           |> List.filter_map (fun v ->
                  Option.map (fun x -> (x, v)) (ninfo_slot s v))
-          |> List.sort compare
+          |> List.sort Slpdas_util.Order.int_pair
         in
         (match eligible with [] -> None | (_, v) :: _ -> Some v)
     in

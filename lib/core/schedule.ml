@@ -65,11 +65,13 @@ let sender_sets t =
       Hashtbl.replace by_slot s (v :: senders)
   done;
   Hashtbl.fold (fun s senders acc -> (s, senders) :: acc) by_slot []
-  |> List.sort compare
+  |> List.sort (Slpdas_util.Order.by fst Int.compare)
 
 let copy t = { t with slots = Array.copy t.slots }
 
-let equal a b = a.n = b.n && a.sink = b.sink && a.slots = b.slots
+let equal a b =
+  a.n = b.n && a.sink = b.sink
+  && Array.for_all2 (Option.equal Int.equal) a.slots b.slots
 
 let of_alist ~n ~sink assocs =
   let t = create ~n ~sink in

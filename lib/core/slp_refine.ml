@@ -40,7 +40,7 @@ let min_slot_child schedule parent v =
   children parent v
   |> List.filter_map (fun c ->
          Option.map (fun s -> (s, c)) (Schedule.slot schedule c))
-  |> List.sort compare
+  |> List.sort Slpdas_util.Order.int_pair
   |> function
   | [] -> None
   | (_, c) :: _ -> Some c
@@ -67,7 +67,7 @@ let refine ?rng ?(gap = 1) g ~das ~search_distance ~change_length =
                  (not (Int_set.mem v visited)) && Some v <> parent.(cur))
           |> List.filter_map (fun v ->
                  Option.map (fun s -> (s, v)) (Schedule.slot schedule v))
-          |> List.sort compare
+          |> List.sort Slpdas_util.Order.int_pair
           |> (function [] -> None | (_, v) :: _ -> Some v)
       in
       match next with

@@ -215,7 +215,9 @@ let verify g sched ~attacker ~safety_period ~source =
   fst (verify_with_stats g sched ~attacker ~safety_period ~source)
 
 let is_slp_aware g sched ~attacker ~safety_period ~source =
-  verify g sched ~attacker ~safety_period ~source = Safe
+  match verify g sched ~attacker ~safety_period ~source with
+  | Safe -> true
+  | Captured _ -> false
 
 let attacker_traces g sched ~attacker ~safety_period ~max_traces =
   if safety_period < 0 then invalid_arg "Verifier: negative safety period";

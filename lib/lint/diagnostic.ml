@@ -1,0 +1,59 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~loc ~message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let v ~rule ~file ~line ~col ~message = { rule; file; line; col; message }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> (
+        match String.compare a.rule b.rule with
+        | 0 -> String.compare a.message b.message
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: error [%s] %s" d.file d.line d.col d.rule d.message
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf "{\"file\":%s,\"line\":%d,\"col\":%d,\"rule\":%s,\"message\":%s}"
+    (json_string d.file) d.line d.col (json_string d.rule)
+    (json_string d.message)

@@ -1,0 +1,90 @@
+type config = {
+  rules : Rules.t list;
+  allowlist : Suppress.allowlist;
+}
+
+let default_config () = { rules = Rules.all; allowlist = Suppress.empty_allowlist () }
+
+(* Repo-relative normalization: "./lib/x.ml", "../lib/x.ml" (tests run one
+   directory down inside _build) and "lib/x.ml" all key the same scopes,
+   suppressions and allowlist entries. *)
+let normalize path =
+  let rec strip p =
+    if String.length p >= 2 && String.equal (String.sub p 0 2) "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else if String.length p >= 3 && String.equal (String.sub p 0 3) "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  strip path
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  try Ok (Parse.implementation lexbuf) with
+  | e -> (
+    match Location.error_of_exn e with
+    | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      Error
+        (Diagnostic.make ~rule:"parse" ~loc
+           ~message:"file does not parse; slp-lint cannot analyse it")
+    | _ ->
+      Error
+        (Diagnostic.v ~rule:"parse" ~file:path ~line:1 ~col:0
+           ~message:
+             (Printf.sprintf "unexpected parser failure: %s"
+                (Printexc.to_string e))))
+
+let check_source config ~path ~source =
+  let path = normalize path in
+  let rules =
+    List.filter
+      (fun r ->
+        r.Rules.applies path
+        && not (Suppress.allowlisted config.allowlist ~file:path ~rule:r.Rules.name))
+      config.rules
+  in
+  if List.is_empty rules then []
+  else
+    match parse ~path source with
+    | Error d -> [ d ]
+    | Ok str ->
+      let sup = Suppress.scan source in
+      Walk.check ~rules str
+      |> List.filter (fun d ->
+             not (Suppress.allows sup ~rule:d.Diagnostic.rule ~line:d.Diagnostic.line))
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let is_ml path =
+  Filename.check_suffix path ".ml"
+
+(* Recursive .ml discovery; hidden and build directories ("_build", any
+   "_"- or "."-prefixed entry) are skipped. *)
+let files_under roots =
+  let out = ref [] in
+  let rec visit path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry ->
+             if
+               String.length entry > 0
+               && (not (Char.equal entry.[0] '_'))
+               && not (Char.equal entry.[0] '.')
+             then visit (Filename.concat path entry))
+    else if is_ml path then out := path :: !out
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then visit root)
+    roots;
+  List.sort String.compare !out
+
+let check_file config path =
+  check_source config ~path ~source:(read_file path)
+
+let run config ~roots =
+  files_under roots
+  |> List.concat_map (fun path -> check_file config path)
+  |> List.sort_uniq Diagnostic.order

@@ -1,0 +1,37 @@
+(** Orchestration: file discovery, parsing, rule scoping, suppression.
+
+    The analysis is entirely in-memory and side-effect free apart from
+    reading the scanned files, so it is safe to run from tests against
+    fixture strings ({!check_source}) as well as over the real tree
+    ({!run}). *)
+
+type config = {
+  rules : Rules.t list;  (** rules to run (subset of {!Rules.all}) *)
+  allowlist : Suppress.allowlist;  (** file-granular legacy exemptions *)
+}
+
+val default_config : unit -> config
+(** All rules, empty allowlist. *)
+
+val normalize : string -> string
+(** Strip leading [./] and [../] segments so paths key rule scopes and
+    allowlist entries repo-relatively. *)
+
+val check_source : config -> path:string -> source:string -> Diagnostic.t list
+(** Lint one compilation unit given as a string.  [path] decides which
+    rule scopes apply.  A file that does not parse yields a single
+    [parse] diagnostic. *)
+
+val check_file : config -> string -> Diagnostic.t list
+
+val read_file : string -> string
+(** Slurp a file (binary mode); exposed for the CLI's allowlist loading. *)
+
+val files_under : string list -> string list
+(** All [.ml] files under the given roots (files or directories), sorted;
+    [_]- and [.]-prefixed directory entries (notably [_build]) are
+    skipped.  Missing roots are ignored. *)
+
+val run : config -> roots:string list -> Diagnostic.t list
+(** Lint every file under [roots]; diagnostics are sorted and
+    deduplicated. *)

@@ -1,0 +1,26 @@
+(* Pure renderers: the library never touches stdout (its own no-print rule
+   applies to it); the CLI decides where the buffer goes. *)
+
+let human buf diags =
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diagnostic.to_string d);
+      Buffer.add_char buf '\n')
+    diags;
+  match List.length diags with
+  | 0 -> Buffer.add_string buf "slp-lint: clean\n"
+  | n -> Buffer.add_string buf (Printf.sprintf "slp-lint: %d diagnostic%s\n" n
+                                  (if n = 1 then "" else "s"))
+
+let json buf diags =
+  Buffer.add_string buf "{\n  \"count\": ";
+  Buffer.add_string buf (string_of_int (List.length diags));
+  Buffer.add_string buf ",\n  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Diagnostic.to_json d))
+    diags;
+  if not (List.is_empty diags) then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n"

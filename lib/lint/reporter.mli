@@ -1,0 +1,8 @@
+(** Diagnostic rendering.  Both renderers append to a caller-owned buffer;
+    printing (and the choice of channel) is the CLI's business. *)
+
+val human : Buffer.t -> Diagnostic.t list -> unit
+(** One compiler-style line per diagnostic plus a trailing summary line. *)
+
+val json : Buffer.t -> Diagnostic.t list -> unit
+(** [{"count": n, "diagnostics": [...]}] for machine consumers. *)

@@ -1,0 +1,89 @@
+type t = {
+  name : string;
+  summary : string;
+  applies : string -> bool;
+}
+
+(* Paths handed to [applies] are normalized repo-relative ("lib/sim/engine.ml"). *)
+
+let under dir path =
+  let prefix = dir ^ "/" in
+  String.length path >= String.length prefix
+  && String.equal (String.sub path 0 (String.length prefix)) prefix
+
+let in_lib path = under "lib" path
+let in_bin path = under "bin" path
+let in_bench path = under "bench" path
+
+let hot_path path =
+  under "lib/sim" path
+  || String.equal path "lib/core/verifier.ml"
+  || String.equal path "lib/util/heap.ml"
+  || String.equal path "lib/util/pool.ml"
+
+let all =
+  [
+    {
+      name = "random-stdlib";
+      summary =
+        "stdlib Random (and Random.self_init in particular) is banned \
+         everywhere except lib/util/rng.ml: all randomness must flow from a \
+         SplitMix64 root seed (Slpdas_util.Rng) so runs replay exactly";
+      applies = (fun p -> not (String.equal p "lib/util/rng.ml"));
+    };
+    {
+      name = "wall-clock";
+      summary =
+        "Unix.gettimeofday / Unix.time / Sys.time outside bench/: \
+         wall-clock reads make output depend on the machine, voiding the \
+         byte-identical-stdout determinism guarantee";
+      applies = (fun p -> not (in_bench p));
+    };
+    {
+      name = "hashtbl-order";
+      summary =
+        "Hashtbl.iter / Hashtbl.fold in lib/exp: hash-bucket order is \
+         unspecified, and experiment aggregation must merge in input order \
+         to stay identical across BENCH_DOMAINS settings";
+      applies = (fun p -> under "lib/exp" p);
+    };
+    {
+      name = "domain-capture";
+      summary =
+        "unsynchronized mutable state (ref, mutable field, Hashtbl, Buffer) \
+         captured and touched by a closure handed to Pool.map / \
+         Pool.map_array / Domain.spawn: a data race under parallel fan-out; \
+         use Atomic/Mutex or keep tasks parameterised by value \
+         (lib/util/pool.ml itself, the sanctioned wrapper, is exempt)";
+      applies = (fun p -> not (String.equal p "lib/util/pool.ml"));
+    };
+    {
+      name = "poly-compare";
+      summary =
+        "bare polymorphic compare / Stdlib.compare / Hashtbl.hash in lib/: \
+         walks arbitrary heap structure on every call; use Int.compare, \
+         Float.compare or a monomorphic comparator (Slpdas_util.Order)";
+      applies = in_lib;
+    };
+    {
+      name = "poly-eq";
+      summary =
+        "polymorphic =/<> (or <, >, <=, >=) against a tuple, record, \
+         constructor or list on the hot path (lib/sim, lib/core/verifier.ml, \
+         lib/util/heap.ml, lib/util/pool.ml): each comparison is a \
+         caml_compare call; match on the structure or use a typed equal";
+      applies = hot_path;
+    };
+    {
+      name = "no-print";
+      summary =
+        "Printf.printf / print_* / Format.printf / Format.std_formatter / \
+         stdout in lib/ or bin/: library output goes through the Event bus \
+         or Tabular so stdout stays seed-determined (CLI entry points are \
+         allowlisted with a justification)";
+      applies = (fun p -> in_lib p || in_bin p);
+    };
+  ]
+
+let names = List.map (fun r -> r.name) all
+let find name = List.find_opt (fun r -> String.equal r.name name) all

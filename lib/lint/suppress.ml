@@ -1,0 +1,122 @@
+(* Suppressions come from two places:
+
+   - inline comments in the scanned source: [(* slp-lint: allow <rule> *)]
+     silences <rule> on its own line and the next line; [(* slp-lint:
+     allow-file <rule> *)] silences it for the whole file.  <rule> may be
+     [all].  The scan is textual (the parser drops comments), so the
+     directive works anywhere a comment does.
+
+   - an allowlist file for legacy sites: one [<path> <rule>] entry per
+     line, ['#'] starts a comment (use it to justify the entry). *)
+
+type t = {
+  file_rules : (string, unit) Hashtbl.t;
+  line_rules : (string * int, unit) Hashtbl.t;
+}
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+let word s i =
+  let n = String.length s in
+  let j = ref i in
+  while !j < n && is_word_char s.[!j] do incr j done;
+  if !j = i then None else Some (String.sub s i (!j - i), !j)
+
+let skip_blanks s i =
+  let n = String.length s in
+  let j = ref i in
+  while !j < n && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
+  !j
+
+let marker = "slp-lint:"
+
+(* Parse every directive on [line] and record it. *)
+let scan_line t ~lineno line =
+  let n = String.length line in
+  let rec from i =
+    if i < n then begin
+      match
+        let rec find k =
+          if k + String.length marker > n then None
+          else if String.equal (String.sub line k (String.length marker)) marker
+          then Some k
+          else find (k + 1)
+        in
+        find i
+      with
+      | None -> ()
+      | Some k ->
+        let j = skip_blanks line (k + String.length marker) in
+        (match word line j with
+        | Some (("allow" | "allow-file") as verb, j) -> (
+          let j = skip_blanks line j in
+          match word line j with
+          | Some (rule, j') ->
+            if String.equal verb "allow-file" then
+              Hashtbl.replace t.file_rules rule ()
+            else begin
+              Hashtbl.replace t.line_rules (rule, lineno) ();
+              Hashtbl.replace t.line_rules (rule, lineno + 1) ()
+            end;
+            from j'
+          | None -> from j)
+        | _ -> from (k + String.length marker))
+    end
+  in
+  from 0
+
+let scan source =
+  let t = { file_rules = Hashtbl.create 4; line_rules = Hashtbl.create 8 } in
+  let lineno = ref 0 in
+  String.split_on_char '\n' source
+  |> List.iter (fun line ->
+         incr lineno;
+         (* Cheap pre-filter: most lines carry no directive. *)
+         if String.length line >= String.length marker then
+           scan_line t ~lineno:!lineno line);
+  t
+
+let allows t ~rule ~line =
+  Hashtbl.mem t.file_rules rule
+  || Hashtbl.mem t.file_rules "all"
+  || Hashtbl.mem t.line_rules (rule, line)
+  || Hashtbl.mem t.line_rules ("all", line)
+
+type allowlist = (string * string, unit) Hashtbl.t
+
+let empty_allowlist () : allowlist = Hashtbl.create 4
+
+let parse_allowlist contents =
+  let t = empty_allowlist () in
+  let lineno = ref 0 in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> not (String.equal s ""))
+      with
+      | [] -> ()
+      | [ path; rule ] -> Hashtbl.replace t (path, rule) ()
+      | _ ->
+        if Option.is_none !err then
+          err :=
+            Some
+              (Printf.sprintf "allowlist line %d: expected '<path> <rule>'"
+                 !lineno))
+    (String.split_on_char '\n' contents);
+  match !err with None -> Ok t | Some e -> Error e
+
+let allowlisted (t : allowlist) ~file ~rule =
+  Hashtbl.mem t (file, rule) || Hashtbl.mem t (file, "all")

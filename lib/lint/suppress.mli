@@ -1,0 +1,31 @@
+(** Suppression of lint diagnostics.
+
+    Inline, for intentional one-off sites:
+    {v (* slp-lint: allow <rule> *) v}
+    silences [<rule>] ([all] for every rule) on the comment's line and the
+    line after it, so the directive can sit on its own line above the
+    flagged expression.  [allow-file] in place of [allow] silences the rule
+    for the whole file.
+
+    File-granular, for legacy surfaces (CLI stdout, bench timing): an
+    allowlist file with one [<path> <rule>] pair per line; ['#'] comments
+    carry the justification. *)
+
+type t
+(** Directives scanned from one source file. *)
+
+val scan : string -> t
+(** [scan source] extracts every [slp-lint:] directive.  Textual — works in
+    any comment position. *)
+
+val allows : t -> rule:string -> line:int -> bool
+
+type allowlist
+
+val empty_allowlist : unit -> allowlist
+
+val parse_allowlist : string -> (allowlist, string) result
+(** Parse allowlist file contents; [Error] describes the first malformed
+    line. *)
+
+val allowlisted : allowlist -> file:string -> rule:string -> bool

@@ -1,0 +1,324 @@
+(* The AST side of slp-lint: given one parsed implementation and the rules
+   that apply to its path, produce diagnostics.  All checks are syntactic —
+   the pass runs on the untyped parsetree, so type-directed rules
+   (poly-compare, poly-eq, domain-capture) are heuristics tuned for zero
+   false positives on this codebase; inline suppression comments are the
+   escape hatch for the cases the heuristics get wrong. *)
+
+open Parsetree
+
+let rec longident_components li acc =
+  match li with
+  | Longident.Lident s -> s :: acc
+  | Longident.Ldot (l, s) -> longident_components l (s :: acc)
+  | Longident.Lapply _ -> acc
+
+let components li = longident_components li []
+
+(* Last (module, value) pair of a path, so [Stdlib.Random.int],
+   [Random.int] and [Foo.Random.int] all read as [("Random", "int")]. *)
+let tail2 li =
+  match List.rev (components li) with
+  | value :: modname :: _ -> (modname, value)
+  | [ value ] -> ("", value)
+  | [] -> ("", "")
+
+let ident_name li =
+  match List.rev (components li) with name :: _ -> name | [] -> ""
+
+type ctx = {
+  active : (string, unit) Hashtbl.t;  (* rule name -> enabled for this file *)
+  diags : Diagnostic.t list ref;
+  defines_compare : bool;
+      (* the file binds a value named [compare] somewhere, so an
+         unqualified [compare] is (probably) not Stdlib's *)
+}
+
+let on ctx rule = Hashtbl.mem ctx.active rule
+
+let add ctx rule loc message =
+  ctx.diags := Diagnostic.make ~rule ~loc ~message :: !(ctx.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Ident-based rules: fire on any occurrence of a banned path.        *)
+(* ------------------------------------------------------------------ *)
+
+let check_ident ctx li loc =
+  let modname, value = tail2 li in
+  if on ctx "random-stdlib" && String.equal modname "Random" then
+    add ctx "random-stdlib" loc
+      (if String.equal value "self_init" then
+         "Random.self_init seeds from the environment; every run must be \
+          reproducible from a Slpdas_util.Rng root seed"
+       else
+         Printf.sprintf
+           "stdlib Random.%s used outside lib/util/rng.ml; draw from \
+            Slpdas_util.Rng instead"
+           value);
+  if
+    on ctx "wall-clock"
+    && ((String.equal modname "Unix"
+         && (String.equal value "gettimeofday" || String.equal value "time"))
+       || (String.equal modname "Sys" && String.equal value "time"))
+  then
+    add ctx "wall-clock" loc
+      (Printf.sprintf
+         "%s.%s reads the wall clock; timing belongs in bench/, everything \
+          else must be seed-determined"
+         modname value);
+  if
+    on ctx "hashtbl-order"
+    && String.equal modname "Hashtbl"
+    && (String.equal value "iter" || String.equal value "fold")
+  then
+    add ctx "hashtbl-order" loc
+      (Printf.sprintf
+         "Hashtbl.%s visits buckets in unspecified order; aggregate in \
+          input order (lists/arrays) so results merge deterministically \
+          across domains"
+         value);
+  if on ctx "poly-compare" then begin
+    let bare_compare =
+      match li with
+      | Longident.Lident "compare" -> not ctx.defines_compare
+      | Longident.Ldot (Longident.Lident "Stdlib", "compare") -> true
+      | _ -> false
+    in
+    if bare_compare then
+      add ctx "poly-compare" loc
+        "polymorphic compare; use Int.compare / Float.compare / \
+         String.compare or a Slpdas_util.Order comparator"
+    else if String.equal modname "Hashtbl" && String.equal value "hash" then
+      add ctx "poly-compare" loc
+        "polymorphic Hashtbl.hash; hash the packed integer key instead"
+  end;
+  if on ctx "no-print" then begin
+    let banned_simple =
+      match li with
+      | Longident.Lident
+          (( "print_endline" | "print_string" | "print_newline" | "print_int"
+           | "print_float" | "print_char" | "print_bytes" | "stdout" ) as n)
+        ->
+        Some n
+      | _ -> None
+    in
+    match banned_simple with
+    | Some n ->
+      add ctx "no-print" loc
+        (Printf.sprintf
+           "%s writes to stdout from library code; emit through the Event \
+            bus or render with Tabular"
+           n)
+    | None ->
+      if
+        (String.equal modname "Printf" && String.equal value "printf")
+        || (String.equal modname "Format"
+           && (String.equal value "printf"
+              || String.equal value "print_string"
+              || String.equal value "print_newline"
+              || String.equal value "std_formatter"))
+        || (String.equal modname "Stdlib"
+           && (String.equal value "print_endline"
+              || String.equal value "print_string"
+              || String.equal value "stdout"))
+      then
+        add ctx "no-print" loc
+          (Printf.sprintf
+             "%s.%s writes to stdout from library code; emit through the \
+              Event bus or render with Tabular"
+             modname value)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* poly-eq: =/<> (and orderings) applied to structured literals.      *)
+(* ------------------------------------------------------------------ *)
+
+let rec structured e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ | Pexp_variant _ -> true
+  | Pexp_construct ({ txt; _ }, _) -> (
+    match ident_name txt with "true" | "false" | "()" -> false | _ -> true)
+  | Pexp_constraint (e, _) -> structured e
+  | _ -> false
+
+let comparison_op = function
+  | Longident.Lident (("=" | "<>" | "<" | ">" | "<=" | ">=") as op) -> Some op
+  | _ -> None
+
+let check_poly_eq ctx f args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; loc } -> (
+    match comparison_op txt with
+    | Some op -> (
+      match args with
+      | [ (_, a); (_, b) ] when structured a || structured b ->
+        add ctx "poly-eq" loc
+          (Printf.sprintf
+             "polymorphic (%s) against a structured value on the hot path; \
+              pattern-match or use a typed equal (Option.equal Int.equal, \
+              ...)"
+             op)
+      | _ -> ())
+    | None -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* domain-capture: closures handed to the domain pool.                *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_target li =
+  match tail2 li with
+  | "Pool", ("map" | "map_array") | "Domain", "spawn" -> true
+  | _ -> false
+
+(* Every name bound anywhere inside the closure (parameters, lets, match
+   cases, for indices).  Over-approximate on purpose: treating an inner
+   binding as closure-local can only hide a finding, never invent one. *)
+let closure_bound_names body =
+  let bound = Hashtbl.create 32 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> Hashtbl.replace bound txt ()
+          | Ppat_alias (_, { txt; _ }) -> Hashtbl.replace bound txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.expr it body;
+  bound
+
+(* The variable a mutation targets: [r] in [r := x], [t.field <- x],
+   [Hashtbl.replace t k v], [Buffer.add_string b s], [!r]. *)
+let rec head_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (ident_name txt)
+  | Pexp_field (e, _) -> head_name e
+  | Pexp_constraint (e, _) -> head_name e
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "!"; _ }; _ }, [ (_, e) ])
+    ->
+    head_name e
+  | _ -> None
+
+let hashtbl_mutator = function
+  | "add" | "replace" | "remove" | "reset" | "clear" | "filter_map_inplace" ->
+    true
+  | _ -> false
+
+let buffer_mutator name =
+  String.equal name "clear" || String.equal name "reset"
+  || String.equal name "truncate"
+  || (String.length name > 4 && String.equal (String.sub name 0 4) "add_")
+
+let scan_spawned_closure ctx closure =
+  let bound = closure_bound_names closure in
+  let captured e =
+    match head_name e with
+    | Some n -> not (Hashtbl.mem bound n)
+    | None -> false
+  in
+  let flag loc what =
+    add ctx "domain-capture" loc
+      (Printf.sprintf
+         "%s inside a closure handed to the domain pool; parallel tasks \
+          must not share unsynchronized mutable state — pass data by \
+          value, or guard with Atomic/Mutex"
+         what)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.pexp_desc with
+          | Pexp_setfield (target, _, _) when captured target ->
+            flag e.pexp_loc "mutable-field write on a captured value";
+            Ast_iterator.default_iterator.expr self e
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            let modname, value = tail2 txt in
+            (* Synchronized regions are fine: don't descend into Mutex /
+               Atomic applications (Mutex.protect's thunk included). *)
+            if String.equal modname "Mutex" || String.equal modname "Atomic"
+            then ()
+            else begin
+              (match (txt, args) with
+              | Longident.Lident ":=", (_, lhs) :: _ when captured lhs ->
+                flag e.pexp_loc "write to a captured ref"
+              | Longident.Lident "!", [ (_, lhs) ] when captured lhs ->
+                flag e.pexp_loc "read of a captured ref"
+              | _, (_, first) :: _
+                when String.equal modname "Hashtbl" && hashtbl_mutator value
+                     && captured first ->
+                flag e.pexp_loc "mutation of a captured Hashtbl"
+              | _, (_, first) :: _
+                when String.equal modname "Buffer" && buffer_mutator value
+                     && captured first ->
+                flag e.pexp_loc "mutation of a captured Buffer"
+              | _ -> ());
+              Ast_iterator.default_iterator.expr self e
+            end)
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it closure
+
+let rec is_function_literal e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_function_literal e
+  | _ -> false
+
+let check_spawn ctx f args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } when spawn_target txt ->
+    List.iter
+      (fun (_, arg) -> if is_function_literal arg then scan_spawned_closure ctx arg)
+      args
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver over one structure.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let structure_defines_compare str =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = "compare"; _ } -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str;
+  !found
+
+let check ~rules str =
+  let active = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace active r.Rules.name ()) rules;
+  let ctx =
+    { active; diags = ref []; defines_compare = structure_defines_compare str }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> check_ident ctx txt loc
+          | Pexp_apply (f, args) ->
+            if on ctx "poly-eq" then check_poly_eq ctx f args;
+            if on ctx "domain-capture" then check_spawn ctx f args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  List.sort_uniq Diagnostic.order !(ctx.diags)

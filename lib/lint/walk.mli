@@ -1,0 +1,9 @@
+(** Syntactic rule checks over one parsed implementation.
+
+    [check ~rules str] runs exactly the given rules (the caller has already
+    filtered them by path scope and allowlist) and returns sorted,
+    deduplicated diagnostics.  File names in the diagnostics come from the
+    parsetree locations, i.e. from the [pos_fname] the lexbuf was
+    initialised with. *)
+
+val check : rules:Rules.t list -> Parsetree.structure -> Diagnostic.t list

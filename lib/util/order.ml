@@ -1,0 +1,7 @@
+let int_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let pair cmp_a cmp_b (a1, b1) (a2, b2) =
+  match cmp_a a1 a2 with 0 -> cmp_b b1 b2 | c -> c
+
+let by key cmp a b = cmp (key a) (key b)

@@ -1,0 +1,16 @@
+(** Monomorphic comparators.
+
+    The slp-lint [poly-compare] rule bans the polymorphic [Stdlib.compare]
+    in [lib/]: it walks arbitrary heap structure at every call, defeats
+    unboxing, and silently accepts values (functions, cyclic structure)
+    that should be type errors.  These combinators cover the sort keys the
+    codebase actually uses — mostly [(hop, id)]-style integer pairs. *)
+
+val int_pair : int * int -> int * int -> int
+(** Lexicographic [Int.compare] on pairs. *)
+
+val pair : ('a -> 'a -> int) -> ('b -> 'b -> int) -> 'a * 'b -> 'a * 'b -> int
+(** [pair ca cb] orders pairs lexicographically by [ca] then [cb]. *)
+
+val by : ('a -> 'b) -> ('b -> 'b -> int) -> 'a -> 'a -> int
+(** [by key cmp] orders values by [cmp] on [key]. *)

@@ -105,14 +105,14 @@ let map_array t ?chunk f xs =
         (* Racy read, deliberately: once a task has failed there is no point
            computing the remaining chunks, but seeing a stale [None] only
            costs wasted work, never correctness. *)
-        if !first_error = None then
+        if Option.is_none !first_error then
           for k = lo to hi - 1 do
             results.(k) <- Some (f xs.(k))
           done
       with e ->
         let bt = Printexc.get_raw_backtrace () in
         Mutex.lock t.mutex;
-        if !first_error = None then first_error := Some (e, bt);
+        if Option.is_none !first_error then first_error := Some (e, bt);
         Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;

@@ -4,7 +4,13 @@
     simulation run, schedule construction and experiment is reproducible from
     a single root seed.  The generator is SplitMix64 (Steele, Lea & Flood,
     OOPSLA 2014): a small, fast, splittable generator with 64-bit state whose
-    statistical quality is more than sufficient for Monte-Carlo simulation. *)
+    statistical quality is more than sufficient for Monte-Carlo simulation.
+
+    This module is the {e sole} sanctioned entry point for randomness: calling
+    [Stdlib.Random] anywhere outside this file (or [bench/]) is rejected by
+    the [random-stdlib] rule of [slp-lint] (run [make lint]), because hidden
+    global-state draws would silently break run-to-run reproducibility and
+    the engine-equivalence and determinism test suites that depend on it. *)
 
 type t
 (** Mutable generator state. *)

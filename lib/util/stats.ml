@@ -34,7 +34,7 @@ let summarize xs =
 let percentile xs p =
   let xs = require_nonempty "Stats.percentile" xs in
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
-  let sorted = List.sort compare xs in
+  let sorted = List.sort Float.compare xs in
   let arr = Array.of_list sorted in
   let n = Array.length arr in
   if n = 1 then arr.(0)

@@ -62,7 +62,7 @@ let edges g =
       if u < a.(i) then acc := (u, a.(i)) :: !acc
     done
   done;
-  List.sort compare !acc
+  List.sort Slpdas_util.Order.int_pair !acc
 
 let fold_vertices f g init =
   let acc = ref init in
@@ -142,7 +142,7 @@ let connected_components g =
             end)
           g.adj.(u)
       done;
-      components := List.sort compare !members :: !components
+      components := List.sort Int.compare !members :: !components
     end
   done;
   List.rev !components

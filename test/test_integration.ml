@@ -1,10 +1,8 @@
 (* Cross-cutting integration scenarios: whole-pipeline runs exercising
    several libraries together, beyond what the per-module suites cover. *)
 
-module Graph = Slpdas_wsn.Graph
 module Topology = Slpdas_wsn.Topology
 module Rng = Slpdas_util.Rng
-module Engine = Slpdas_sim.Engine
 module Link_model = Slpdas_sim.Link_model
 module Protocol = Slpdas_core.Protocol
 module Runner = Slpdas_exp.Runner

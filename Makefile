@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint bench bench-smoke bench-determinism clean
+.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke clean
 
 build:
 	dune build @all
@@ -31,6 +31,20 @@ bench-determinism:
 	BENCH_RUNS=2 BENCH_MICRO=0 BENCH_DOMAINS=2 dune exec bench/main.exe > _build/bench_d2.out
 	diff -u _build/bench_d1.out _build/bench_d2.out
 	@echo "bench stdout byte-identical for BENCH_DOMAINS=1 and 2"
+
+# Seeded fault-injection grid (lib/fault churn workload) plus the
+# fault-layer determinism contract: identical (seed, plan) inputs must give
+# byte-identical resilience JSON for BENCH_DOMAINS=1 and 2.
+chaos-smoke:
+	dune exec bin/slp_das_cli.exe -- chaos -d 7 -n 4 --crashes 2
+	dune exec bin/slp_das_cli.exe -- chaos -d 7 -n 2 --slp \
+	  --fault-plan "crash@500:k=2;revive@625:all" \
+	  --domains 1 --resilience-json _build/chaos_d1.json > /dev/null
+	dune exec bin/slp_das_cli.exe -- chaos -d 7 -n 2 --slp \
+	  --fault-plan "crash@500:k=2;revive@625:all" \
+	  --domains 2 --resilience-json _build/chaos_d2.json > /dev/null
+	diff -u _build/chaos_d1.json _build/chaos_d2.json
+	@echo "chaos resilience JSON byte-identical for --domains 1 and 2"
 
 clean:
 	dune clean

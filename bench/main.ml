@@ -410,6 +410,113 @@ let related_work () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection and schedule repair                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The churn workload (lib/fault): seeded fault plans against the live
+   protocol, measured with alive-restricted re-validation and repair
+   metrics.  One table row per (mode, plan) cell; the aggregated counters
+   go to bench_results/BENCH_fault.json, whose bytes are independent of
+   BENCH_DOMAINS (the domain-invariance contract of Resilience.merge_all). *)
+let fault_resilience () =
+  section "Fault injection: schedule repair under churn (7x7)";
+  if fast_mode then
+    print_endline "(skipped in BENCH_FAST mode: requires the DES)"
+  else begin
+    let dim = 7 in
+    let runs = max 4 (base_runs / 4) in
+    let params = Slpdas_exp.Params.default in
+    let plans =
+      [
+        ("crash k=3", Slpdas_fault.Churn.churn_plan ~params ());
+        ( "crash+revive",
+          Slpdas_fault.Churn.churn_plan ~params ~crashes:2
+            ~revive_after_periods:10 () );
+        ( "crash+burst",
+          Slpdas_fault.Churn.churn_plan ~params ~crashes:2
+            ~burst:(0.3, 60.0) () );
+      ]
+    in
+    let modes =
+      [
+        ("protectionless", Slpdas_core.Protocol.Protectionless);
+        ("slp", Slpdas_core.Protocol.Slp);
+      ]
+    in
+    let cells =
+      List.concat_map
+        (fun (mode_name, mode) ->
+          List.map
+            (fun (plan_name, plan) ->
+              let configs =
+                List.init runs (fun i ->
+                    Slpdas_fault.Churn.default_config ~mode ~dim ~seed:(100 + i)
+                      plan)
+              in
+              let reports = Slpdas_fault.Churn.run_many ~domains configs in
+              let agg =
+                Slpdas_fault.Resilience.merge_all
+                  (List.map Slpdas_fault.Resilience.of_report reports)
+              in
+              (mode_name, plan_name, agg))
+            plans)
+        modes
+    in
+    let pct num den =
+      if den = 0 then "-"
+      else Printf.sprintf "%d/%d" num den
+    in
+    let rows =
+      List.map
+        (fun (mode_name, plan_name, (agg : Slpdas_fault.Resilience.counters)) ->
+          [
+            mode_name;
+            plan_name;
+            string_of_int agg.Slpdas_fault.Resilience.runs;
+            (match Slpdas_fault.Resilience.mean_reconverge_periods agg with
+            | Some m -> Printf.sprintf "%.1f" m
+            | None -> "-");
+            pct agg.Slpdas_fault.Resilience.weak_final
+              agg.Slpdas_fault.Resilience.runs;
+            pct agg.Slpdas_fault.Resilience.strong_final
+              agg.Slpdas_fault.Resilience.runs;
+            pct agg.Slpdas_fault.Resilience.slp_after_aware
+              agg.Slpdas_fault.Resilience.slp_after_known;
+            string_of_int agg.Slpdas_fault.Resilience.unrepaired_total;
+            (match Slpdas_fault.Resilience.mean_delivery_ratio agg with
+            | Some m -> Printf.sprintf "%.3f" m
+            | None -> "-");
+          ])
+        cells
+    in
+    emit ~name:"fault_resilience"
+      ~header:
+        [
+          "mode"; "plan"; "runs"; "reconv(p)"; "weak"; "strong"; "slp-post";
+          "orphans"; "delivery";
+        ]
+      rows;
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    try
+      let oc = open_out (Filename.concat results_dir "BENCH_fault.json") in
+      output_string oc "{\n  \"sections\": [\n";
+      let last = List.length cells - 1 in
+      List.iteri
+        (fun i (mode_name, plan_name, agg) ->
+          Printf.fprintf oc
+            "    {\"mode\": %S, \"plan\": %S, \"resilience\": %s}%s\n" mode_name
+            plan_name
+            (Slpdas_fault.Resilience.to_json agg)
+            (if i = last then "" else ","))
+        cells;
+      output_string oc "  ]\n}\n";
+      close_out oc
+    with Sys_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Aggregation service quality and energy                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1095,6 +1202,7 @@ let () =
   timed "overhead" overhead;
   timed "related_work" related_work;
   timed "service_quality" service_quality;
+  timed "fault_resilience" fault_resilience;
   energy ();
   ablation_gap ();
   ablation_attacker ();

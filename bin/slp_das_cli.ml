@@ -5,6 +5,7 @@
      schedule    build a DAS schedule (optionally SLP-refined) and check it
      verify      run VerifySchedule (Algorithm 1) against an attacker
      simulate    one full discrete-event run with an attacker
+     chaos       seeded fault-injection runs with repair metrics
      experiment  capture-ratio sweeps (the Fig. 5 experiment) *)
 
 open Cmdliner
@@ -463,6 +464,94 @@ let fake_cmd =
       const run $ dim_arg $ runs_arg $ rate_arg $ domains_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run dim seed runs slp sd gap plan_text detect_after crashes domains
+      resilience_json events_json =
+    let params = params_of ~sd ~gap in
+    let plan =
+      match plan_text with
+      | None -> Slpdas_fault.Churn.churn_plan ~params ~crashes ()
+      | Some text ->
+        begin match Slpdas_fault.Fault_plan.of_string text with
+        | Ok plan -> plan
+        | Error reason ->
+          Format.eprintf "bad --fault-plan: %s@." reason;
+          exit 2
+        end
+    in
+    let mode =
+      if slp then Slpdas_core.Protocol.Slp
+      else Slpdas_core.Protocol.Protectionless
+    in
+    let configs =
+      List.init runs (fun i ->
+          {
+            (Slpdas_fault.Churn.default_config ~mode ~dim ~seed:(seed + i) plan) with
+            Slpdas_fault.Churn.params;
+            detect_after;
+          })
+    in
+    let reports, counters =
+      Slpdas_fault.Churn.run_many_with_events ?domains configs
+    in
+    Format.printf "fault plan: %s@." (Slpdas_fault.Fault_plan.to_string plan);
+    print_string
+      (Slpdas_util.Tabular.render ~header:Slpdas_fault.Churn.header
+         (List.map Slpdas_fault.Churn.row reports));
+    let aggregate =
+      Slpdas_fault.Resilience.merge_all
+        (List.map Slpdas_fault.Resilience.of_report reports)
+    in
+    Format.printf "%a@." Slpdas_fault.Resilience.pp aggregate;
+    (match resilience_json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Slpdas_fault.Resilience.to_json aggregate);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "resilience: wrote %s@." path);
+    write_events_json events_json counters
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan in the lib/fault DSL, e.g. \
+       'crash@250:k=3;revive@400:all;burst@700:0.3,50'.  Defaults to the \
+       canonical churn plan (random crashes mid-provisioning)."
+    in
+    Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+  in
+  let detect_arg =
+    let doc =
+      "Failure-detection latency in seconds (default: one dissemination \
+       period)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "detect-after" ] ~docv:"SECS" ~doc)
+  in
+  let crashes_arg =
+    let doc = "Crash count for the default plan (ignored with --fault-plan)." in
+    Arg.(value & opt int 3 & info [ "crashes" ] ~docv:"K" ~doc)
+  in
+  let resilience_json_arg =
+    let doc = "Write the aggregated resilience counters as JSON to FILE." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resilience-json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Seeded fault-injection runs with schedule-repair metrics")
+    Term.(
+      const run $ dim_arg $ seed_arg $ runs_arg $ slp_arg $ sd_arg $ gap_arg
+      $ plan_arg $ detect_arg $ crashes_arg $ domains_arg $ resilience_json_arg
+      $ events_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,5 +629,6 @@ let () =
             simulate_cmd;
             phantom_cmd;
             fake_cmd;
+            chaos_cmd;
             experiment_cmd;
           ]))

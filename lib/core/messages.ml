@@ -10,6 +10,8 @@ type t =
   | Search of { target : int; ttl : int }
   | Change of { target : int; base_slot : int; ttl : int }
   | Data of { origin : int; seq : int; readings : (int * int) list }
+  | Neighbour_down of int
+  | Release of { target : int }
 
 let pp ppf = function
   | Hello -> Format.fprintf ppf "HELLO"
@@ -24,6 +26,8 @@ let pp ppf = function
   | Data { origin; seq; readings } ->
     Format.fprintf ppf "DATA(origin=%d, seq=%d, |agg|=%d)" origin seq
       (List.length readings)
+  | Neighbour_down v -> Format.fprintf ppf "DOWN(%d)" v
+  | Release { target } -> Format.fprintf ppf "RELEASE(to=%d)" target
 
 let describe = function
   | Hello -> "hello"
@@ -32,3 +36,5 @@ let describe = function
   | Search _ -> "search"
   | Change _ -> "change"
   | Data _ -> "data"
+  | Neighbour_down _ -> "neighbour-down"
+  | Release _ -> "release"

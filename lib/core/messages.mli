@@ -32,6 +32,22 @@ type t =
           [readings] is the aggregate being convergecast: one
           [(source, generation period)] pair per sensor reading collected
           from the sender's subtree since its previous transmission *)
+  | Neighbour_down of int
+      (** failure-detector report: the carried node has crash-stopped.  Not
+          a radio message — the fault injector ([Slpdas_fault.Injector])
+          injects it directly into each surviving neighbour after a
+          detection delay, modelling the link-layer beacon/ack timeout that
+          TOSSIM deployments use to notice dead neighbours.  The receiver
+          purges the node from its neighbourhood state and, if orphaned,
+          re-enters Phase-1 provisioning (the update mode of Fig. 2) *)
+  | Release of { target : int }
+      (** repair-cascade detach: an orphan whose every surviving neighbour
+          is one of its own convergecast children cannot re-parent without
+          creating a cycle, so it hands the problem down — [target] (its
+          best-placed child) is told to detach and re-anchor elsewhere,
+          recursing if the child is in the same position.  Once the child
+          re-anchors and disseminates, the original orphan adopts it as the
+          new parent *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -131,18 +131,32 @@ let neighbourhood_min_slot s =
 
 (* Monotone merge of received Ninfo: slots only ever decrease in this
    protocol (collision resolution, updates, refinement), so "lowest slot
-   wins" keeps the freshest view; hop is set once by the owner. *)
-let merge_info s info =
+   wins" keeps the freshest view; hop is set once by the owner.
+
+   The one exception is the sender's entry about *itself*: that is the
+   owner's current announcement, so it replaces ours outright.  In the
+   fault-free run the two rules coincide (owners never raise a slot and
+   never change their hop), but orphan repair re-anchors nodes onto new
+   parents, changing their hop and re-assigning their slot.  Folding such
+   an owner announcement through the monotone rule would keep the stale
+   hop, and inconsistent hop views are what feed the strong-repair rule
+   ("stay below every hop-1-closer neighbour") cyclic "closer" relations —
+   two nodes each believing the other closer chase each other's slots down
+   without bound.  With owner-consistent hops any such cycle needs
+   h(a) < h(b) < ... < h(a), which is impossible. *)
+let merge_info s ~sender info =
   List.fold_left
     (fun (ninfo, unassigned) (v, entry) ->
       match entry with
       | None -> (ninfo, Int_set.add v unassigned)
       | Some (incoming : Messages.ninfo) ->
         let merged =
-          match Int_map.find_opt v ninfo with
-          | None -> incoming
-          | Some existing ->
-            { existing with Messages.slot = min existing.Messages.slot incoming.Messages.slot }
+          if v = sender then incoming
+          else
+            match Int_map.find_opt v ninfo with
+            | None -> incoming
+            | Some existing ->
+              { existing with Messages.slot = min existing.Messages.slot incoming.Messages.slot }
         in
         (Int_map.add v merged ninfo, unassigned))
     (s.ninfo, s.unassigned_seen)
@@ -186,29 +200,54 @@ let common_dissem_update ~self s ~sender ~info ~sender_parent =
     else if sender_parent <> None then Int_set.remove sender s.children
     else s.children
   in
-  let ninfo, unassigned_seen = merge_info s info in
-  { s with children; ninfo; unassigned_seen }
+  let ninfo, unassigned_seen = merge_info s ~sender info in
+  (* A sender advertising *itself* as ⊥ has dropped its assignment (orphan
+     repair; see [on_neighbour_down]).  The monotone merge above cannot
+     express that — slots only ever decrease — so trust the owner and purge
+     our stale record: its old slot must not seed [choose_parent_and_slot]
+     again, and the payload change this causes is what re-arms our own
+     dissemination budget so converged nodes answer the orphan's ⊥
+     announcement.  Third-party [None] entries (neighbours the sender merely
+     has not heard from) are still only recorded in [unassigned_seen]. *)
+  let sender_unassigned =
+    List.exists (fun (v, e) -> v = sender && e = None) info
+  in
+  let ninfo = if sender_unassigned then Int_map.remove sender ninfo else ninfo in
+  let npar = if sender_unassigned then Int_set.remove sender s.npar else s.npar in
+  { s with children; ninfo; unassigned_seen; npar }
+
+(* Record an assigned sender as a potential parent, together with the
+   competitor set its payload reveals (the [Others] map that later decides
+   our rank, hence our collision-free slot).  Never a child: re-parenting
+   onto one's own convergecast child is a cycle.  In the fault-free run the
+   guard is vacuous — an unassigned node cannot have children because no
+   neighbour adopts a slotless parent — but during orphan repair our
+   children do re-disseminate while we are slotless. *)
+let record_candidate s ~sender ~info =
+  let competitors =
+    List.filter_map (fun (v, e) -> if e = None then Some v else None) info
+  in
+  let others =
+    let existing =
+      Option.value ~default:Int_set.empty (Int_map.find_opt sender s.others)
+    in
+    Int_map.add sender
+      (List.fold_left (fun acc v -> Int_set.add v acc) existing competitors)
+      s.others
+  in
+  { s with npar = Int_set.add sender s.npar; others }
+
+let sender_assigned_in ~sender info =
+  List.exists (fun (v, e) -> v = sender && e <> None) info
 
 (* receiveN of Fig. 2: a normal dissemination. *)
 let on_dissem_normal ~self s ~sender ~info ~sender_parent =
-  let sender_assigned =
-    List.exists (fun (v, e) -> v = sender && e <> None) info
-  in
   let s =
-    if s.slot = None && sender_assigned then begin
-      let competitors =
-        List.filter_map (fun (v, e) -> if e = None then Some v else None) info
-      in
-      let others =
-        let existing =
-          Option.value ~default:Int_set.empty (Int_map.find_opt sender s.others)
-        in
-        Int_map.add sender
-          (List.fold_left (fun acc v -> Int_set.add v acc) existing competitors)
-          s.others
-      in
-      { s with npar = Int_set.add sender s.npar; others }
-    end
+    if
+      s.slot = None
+      && sender_assigned_in ~sender info
+      && not (Int_set.mem sender s.children)
+    then record_candidate s ~sender ~info
     else s
   in
   common_dissem_update ~self s ~sender ~info ~sender_parent
@@ -231,6 +270,23 @@ let has_forwarder ~self:_ s ~mine =
    update is meant to protect. *)
 let on_dissem_update ~self s ~sender ~info ~sender_parent =
   let s = common_dissem_update ~self s ~sender ~info ~sender_parent in
+  (* During orphan repair ([slot = None] while in update mode, a state the
+     fault-free protocol never reaches) the neighbours we can re-anchor to
+     mostly announce themselves through *update* disseminations — they are
+     repairing too.  receiveN's potential-parent recording would miss them,
+     so replicate it here.  [s.children] is already refreshed by
+     [common_dissem_update], so a released child that re-anchored elsewhere
+     (its [parent] points away from us) is admissible again. *)
+  let s =
+    if
+      s.slot = None && (not s.normal)
+      && self <> s.config.sink
+      && sender_assigned_in ~sender info
+      && (not (Int_set.mem sender s.children))
+      && sender_parent <> Some self
+    then record_candidate s ~sender ~info
+    else s
+  in
   let sender_slot =
     List.find_map
       (fun (v, e) ->
@@ -245,6 +301,106 @@ let on_dissem_update ~self s ~sender ~info ~sender_parent =
     { s with dissem_budget = s.config.dissemination_timeout }
   | _ -> s
 
+(* receiveF: the failure detector reports a crashed neighbour.  The paper
+   assumes TOSSIM's static neighbourhoods; here an idealised link-layer
+   detector (driven by the fault injector, [Slpdas_fault.Injector]) tells
+   each surviving neighbour of a crash-stop after a detection delay.  The
+   reaction is a pure purge: forget everything known about the dead node,
+   and if it was our parent, drop our own assignment and re-enter Phase-1
+   provisioning — the next process round re-parents us through
+   [choose_parent_and_slot] among the surviving potential parents, and the
+   resulting update dissemination cascades the repair to our children
+   (receiveU).  Slots never rise, so the monotone-merge invariant holds. *)
+(* Drop our assignment and re-enter Phase-1 provisioning.  The shared tail
+   of losing a parent to a crash (receiveF below) and being detached by a
+   [Release] token (receiveR).  Dropping the self Ninfo entry makes our next
+   dissemination advertise ⊥ again — and [on_dissem_timer] lets a slotless
+   update-mode node disseminate precisely so that this ⊥ announcement goes
+   out: converged neighbours have exhausted their budget and would otherwise
+   never re-disseminate, leaving the orphan nothing to overhear.  Hearing
+   our ⊥ purges their record of us ([common_dissem_update]), changes their
+   payload, re-arms their budget, and their answering disseminations rebuild
+   [npar] with fresh slots and competitor sets.  Own children are flushed
+   from [npar] (re-parenting onto one is a convergecast cycle).
+
+   If every surviving neighbour is one of our own children, no answer can
+   help — each would have to route through us.  Hand the problem down
+   instead: detach the best-placed child with a [Release] token.  It
+   re-anchors through its own neighbourhood (recursing if needed; the
+   recursion descends the finite convergecast tree, so it terminates) and
+   once it disseminates its new assignment we adopt it as our parent. *)
+let orphan ~self s =
+  let s =
+    {
+      s with
+      parent = None;
+      slot = None;
+      hop = None;
+      normal = false;
+      dissem_budget = s.config.dissemination_timeout;
+      ninfo = Int_map.remove self s.ninfo;
+      npar = Int_set.diff s.npar s.children;
+    }
+  in
+  if
+    (not (Int_set.is_empty s.neighbours))
+    && Int_set.subset s.neighbours s.children
+  then begin
+    let best =
+      Int_set.fold
+        (fun c acc ->
+          let key = ((match ninfo_hop s c with Some h -> h | None -> max_int), c) in
+          match acc with
+          | Some best when Slpdas_util.Order.int_pair best key <= 0 -> acc
+          | _ -> Some key)
+        s.neighbours None
+    in
+    match best with
+    | None -> (s, [])
+    | Some (_, c) ->
+      ( { s with children = Int_set.remove c s.children },
+        [ Slpdas_gcn.Broadcast (Messages.Release { target = c }) ] )
+  end
+  else (s, [])
+
+let on_neighbour_down ~self s ~dead =
+  if dead = self then (s, [])
+  else begin
+    let s =
+      {
+        s with
+        neighbours = Int_set.remove dead s.neighbours;
+        npar = Int_set.remove dead s.npar;
+        children = Int_set.remove dead s.children;
+        others =
+          Int_map.filter_map
+            (fun p competitors ->
+              if p = dead then None else Some (Int_set.remove dead competitors))
+            s.others;
+        ninfo = Int_map.remove dead s.ninfo;
+        unassigned_seen = Int_set.remove dead s.unassigned_seen;
+        from_ = Int_set.remove dead s.from_;
+      }
+    in
+    if s.parent = Some dead && self <> s.config.sink then orphan ~self s
+    else (s, [])
+  end
+
+(* receiveR: our parent became an orphan whose only surviving neighbours are
+   its children, and it picked us to detach (see [orphan]).  Forget its
+   (now meaningless) assignment and rejoin Phase 1 ourselves — unlike
+   receiveF the ex-parent is alive, so it stays in [neighbours]; it will
+   re-adopt us as *its* parent once we re-anchor and disseminate. *)
+let on_release ~self s ~sender ~target =
+  if target <> self || s.parent <> Some sender then (s, [])
+  else
+    orphan ~self
+      {
+        s with
+        npar = Int_set.remove sender s.npar;
+        ninfo = Int_map.remove sender s.ninfo;
+      }
+
 (* ------------------------------------------------------------------ *)
 (* Phase 1 process action (end of each dissemination round)           *)
 (* ------------------------------------------------------------------ *)
@@ -255,7 +411,9 @@ let choose_parent_and_slot ~self s =
     let hops =
       Int_set.fold
         (fun k acc ->
-          match ninfo_hop s k with Some h -> (k, h) :: acc | None -> acc)
+          if Int_set.mem k s.children then acc
+          else
+            match ninfo_hop s k with Some h -> (k, h) :: acc | None -> acc)
         s.npar []
     in
     match hops with
@@ -331,13 +489,24 @@ let repair_slot ~self ~strong s =
         if has_forwarder ~self s ~mine then None else parent_bound
       else begin
         let my_hop = Option.value ~default:max_int s.hop in
+        (* Own children never bound us from below.  After an orphan
+           re-anchors on a longer path its hop can exceed a child's (the
+           child kept the hop of the old, shorter tree), and "stay below
+           the hop-closer child" then contradicts the child's own
+           stay-below-the-parent bound — the pair would chase each other's
+           slots down without bound.  The child's data reaches us by the
+           tree edge regardless of its hop, so the constraint buys nothing.
+           Fault-free schedules never trigger this: a child's hop is always
+           parent hop + 1 there. *)
         let closer_min =
           Int_set.fold
             (fun v acc ->
-              match Int_map.find_opt v s.ninfo with
-              | Some { Messages.hop; slot } when hop = my_hop - 1 ->
-                Some (match acc with None -> slot | Some m -> min m slot)
-              | Some _ | None -> acc)
+              if Int_set.mem v s.children then acc
+              else
+                match Int_map.find_opt v s.ninfo with
+                | Some { Messages.hop; slot } when hop = my_hop - 1 ->
+                  Some (match acc with None -> slot | Some m -> min m slot)
+                | Some _ | None -> acc)
             s.neighbours None
         in
         match (parent_bound, closer_min) with
@@ -549,7 +718,12 @@ let on_dissem_timer ~self s =
     else []
   in
   let s = { s with dissem_rounds_left = s.dissem_rounds_left - 1 } in
-  let eligible = s.slot <> None || self = s.config.sink in
+  (* A slotless node in update mode is an orphan mid-repair (see [orphan]):
+     it must broadcast its ⊥ announcement or converged neighbours never
+     learn they have to answer.  Slotless *normal*-mode nodes are ordinary
+     Phase-1 joiners and stay silent, as in the paper. *)
+  let repairing = s.slot = None && (not s.normal) && self <> s.config.sink in
+  let eligible = s.slot <> None || self = s.config.sink || repairing in
   if not eligible then (s, rearm)
   else begin
     let payload = dissem_payload ~self s in
@@ -564,8 +738,11 @@ let on_dissem_timer ~self s =
           s with
           dissem_budget = budget - 1;
           last_sent = Some payload;
-          (* an update dissemination is sent once, then we return to normal *)
-          normal = true;
+          (* an update dissemination is sent once, then we return to normal
+             — except mid-repair, where update mode must persist until we
+             re-anchor (it is what keeps us eligible here and lets receiveU
+             record answering neighbours as potential parents) *)
+          normal = (if repairing then s.normal else true);
         }
       in
       (s, Slpdas_gcn.Broadcast payload :: rearm)
@@ -840,6 +1017,14 @@ let program config ~self:_ =
           match msg with
           | Messages.Data { readings; _ } ->
             Some (on_data ~self s ~sender ~readings, [])
+          | _ -> None);
+      receive "receiveF" (fun ~self s ~sender:_ msg ->
+          match msg with
+          | Messages.Neighbour_down dead -> Some (on_neighbour_down ~self s ~dead)
+          | _ -> None);
+      receive "receiveR" (fun ~self s ~sender msg ->
+          match msg with
+          | Messages.Release { target } -> Some (on_release ~self s ~sender ~target)
           | _ -> None);
       timeout "hello" Timer.hello (fun ~self:_ s -> on_hello_timer s);
       timeout "dissem" Timer.dissem (fun ~self s -> on_dissem_timer ~self s);

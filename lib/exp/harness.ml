@@ -7,6 +7,7 @@ let run_with_events (scenario : _ Scenario.t) =
       ~program:scenario.Scenario.program ()
   in
   List.iter (fun monitor -> monitor engine) scenario.Scenario.monitors;
+  List.iter (fun arm -> arm engine) scenario.Scenario.faults;
   let obs = scenario.Scenario.attach engine in
   Slpdas_sim.Engine.run_until engine scenario.Scenario.deadline;
   (scenario.Scenario.extract engine obs, Slpdas_sim.Engine.counters engine)

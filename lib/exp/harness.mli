@@ -3,9 +3,10 @@
 
     [run] boots a deterministic engine from the scenario (topology, link
     model, salted seed, per-node programs), attaches the scenario's
-    monitors and attacker/observer state, drives the simulation to the
-    scenario's deadline and applies its metric extractors.  Equal scenarios
-    give equal results.
+    monitors, arms its fault hooks, attaches the attacker/observer state,
+    drives the simulation to the scenario's deadline and applies its metric
+    extractors.  Equal scenarios give equal results — including scenarios
+    with faults, whose every action is queued at plan-fixed times.
 
     [run_many] fans a config list out over a {!Slpdas_util.Pool}; each
     worker builds its scenario from the config by value, so observers and

@@ -10,11 +10,12 @@ type ('s, 'm, 'obs, 'r) t = {
   attach : ('s, 'm) Slpdas_sim.Engine.t -> 'obs;
   extract : ('s, 'm) Slpdas_sim.Engine.t -> 'obs -> 'r;
   monitors : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
+  faults : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
 }
 
 let make ?(airtime = None) ?(engine_impl = Slpdas_sim.Engine.Fast)
-    ?(monitors = []) ~name ~topology ~link ~engine_seed ~program ~deadline
-    ~attach ~extract () =
+    ?(monitors = []) ?(faults = []) ~name ~topology ~link ~engine_seed
+    ~program ~deadline ~attach ~extract () =
   {
     name;
     topology;
@@ -27,9 +28,12 @@ let make ?(airtime = None) ?(engine_impl = Slpdas_sim.Engine.Fast)
     attach;
     extract;
     monitors;
+    faults;
   }
 
 let with_monitor monitor t = { t with monitors = t.monitors @ [ monitor ] }
+
+let with_faults arm t = { t with faults = t.faults @ [ arm ] }
 
 let with_engine_impl impl t = { t with engine_impl = impl }
 

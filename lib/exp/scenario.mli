@@ -43,12 +43,20 @@ type ('s, 'm, 'obs, 'r) t = {
           callback of the old runners — and unlike it, works in
           {!Harness.run_many} parallel fan-out, because the whole scenario
           (monitors included) is built per run inside the worker. *)
+  faults : (('s, 'm) Slpdas_sim.Engine.t -> unit) list;
+      (** fault arming hooks, run after [monitors] and before [attach]:
+          each schedules its fault actions (crash-stops, link overrides,
+          loss bursts — see [Slpdas_fault.Injector.arm]) as engine
+          callbacks.  Unlike monitors, faults deliberately perturb the run;
+          they stay deterministic because everything they do is queued
+          through {!Slpdas_sim.Engine.schedule} at plan-fixed times. *)
 }
 
 val make :
   ?airtime:float option ->
   ?engine_impl:Slpdas_sim.Engine.impl ->
   ?monitors:(('s, 'm) Slpdas_sim.Engine.t -> unit) list ->
+  ?faults:(('s, 'm) Slpdas_sim.Engine.t -> unit) list ->
   name:string ->
   topology:Slpdas_wsn.Topology.t ->
   link:Slpdas_sim.Link_model.t ->
@@ -68,6 +76,12 @@ val with_monitor :
     Slpdas_sim.Engine.subscribe e on_event) scenario].  Monitors must only
     observe (subscribe, record): anything that queues engine events or
     injects triggers would perturb the run. *)
+
+val with_faults :
+  (('s, 'm) Slpdas_sim.Engine.t -> unit) ->
+  ('s, 'm, 'obs, 'r) t ->
+  ('s, 'm, 'obs, 'r) t
+(** Append a fault arming hook (see the [faults] field). *)
 
 val with_engine_impl :
   Slpdas_sim.Engine.impl -> ('s, 'm, 'obs, 'r) t -> ('s, 'm, 'obs, 'r) t

@@ -1,0 +1,41 @@
+let arm ?(detect_after = 0.0) ?on_crash ?on_revive ~ops engine =
+  List.iter
+    (fun { Fault_plan.time; op } ->
+      Slpdas_sim.Engine.schedule engine ~at:time (fun e ->
+          match op with
+          | Fault_plan.Fail v ->
+            Slpdas_sim.Engine.fail_node e v;
+            (match on_crash with
+            | None -> ()
+            | Some f ->
+              if detect_after <= 0.0 then f e ~node:v
+              else
+                Slpdas_sim.Engine.schedule e ~at:(time +. detect_after)
+                  (fun e' -> f e' ~node:v))
+          | Fault_plan.Restart v ->
+            Slpdas_sim.Engine.revive_node e v;
+            (match on_revive with None -> () | Some f -> f e ~node:v)
+          | Fault_plan.Set_link { a; b; loss } ->
+            Slpdas_sim.Engine.set_link_loss e ~a ~b loss
+          | Fault_plan.Set_global loss ->
+            Slpdas_sim.Engine.set_global_loss e loss))
+    ops
+
+let notify_neighbours engine ~node =
+  let topology = Slpdas_sim.Engine.topology engine in
+  Array.iter
+    (fun u ->
+      if not (Slpdas_sim.Engine.node_failed engine u) then
+        Slpdas_sim.Engine.inject engine ~node:u
+          (Slpdas_gcn.Receive
+             { sender = node; msg = Slpdas_core.Messages.Neighbour_down node }))
+    (Slpdas_wsn.Graph.neighbours topology.Slpdas_wsn.Topology.graph node)
+
+let hello_neighbours engine ~node =
+  let topology = Slpdas_sim.Engine.topology engine in
+  Array.iter
+    (fun u ->
+      if not (Slpdas_sim.Engine.node_failed engine u) then
+        Slpdas_sim.Engine.inject engine ~node
+          (Slpdas_gcn.Receive { sender = u; msg = Slpdas_core.Messages.Hello }))
+    (Slpdas_wsn.Graph.neighbours topology.Slpdas_wsn.Topology.graph node)

@@ -1,0 +1,42 @@
+(** Drive a compiled {!Fault_plan} through an engine.
+
+    Every fault action is queued with {!Slpdas_sim.Engine.schedule} at its
+    plan-fixed time before the run starts, so a faulted run stays
+    deterministic: the engine interleaves fault callbacks with protocol
+    events by the same (time, sequence) order on every execution and under
+    both engine implementations. *)
+
+val arm :
+  ?detect_after:float ->
+  ?on_crash:(('s, 'm) Slpdas_sim.Engine.t -> node:int -> unit) ->
+  ?on_revive:(('s, 'm) Slpdas_sim.Engine.t -> node:int -> unit) ->
+  ops:Fault_plan.resolved list ->
+  ('s, 'm) Slpdas_sim.Engine.t ->
+  unit
+(** [arm ?detect_after ?on_crash ?on_revive ~ops engine] schedules every
+    operation at its time: [Fail]/[Restart] call
+    {!Slpdas_sim.Engine.fail_node} / {!Slpdas_sim.Engine.revive_node},
+    [Set_link]/[Set_global] update the engine's fault layer.
+
+    [on_crash] models the failure-detection path: it runs [detect_after]
+    seconds (default 0) after each crash, while [on_revive] runs at the
+    revival instant.  Pass it through a {!Slpdas_exp.Scenario.t}'s [faults]
+    field so {!Slpdas_exp.Harness.run} arms it on the fresh engine. *)
+
+val notify_neighbours :
+  ('s, Slpdas_core.Messages.t) Slpdas_sim.Engine.t -> node:int -> unit
+(** Idealized MAC-layer failure detector for the SLP-DAS protocol: inject
+    {!Slpdas_core.Messages.Neighbour_down}[ node] into every alive graph
+    neighbour of the crashed [node].  The protocol's handler purges the dead
+    node from neighbourhood state; orphans drop parent and slot and
+    re-attach through the normal dissemination machinery (which keeps
+    running until the end of the setup window).  Use as [arm]'s [on_crash]
+    with a [detect_after] of roughly one dissemination period. *)
+
+val hello_neighbours :
+  ('s, Slpdas_core.Messages.t) Slpdas_sim.Engine.t -> node:int -> unit
+(** Rejoin helper for revivals: inject one {!Slpdas_core.Messages.Hello}
+    from each alive neighbour into the revived [node], so its fresh
+    protocol instance re-learns its neighbourhood immediately rather than
+    waiting to overhear traffic.  (Its own boot Hellos already re-announce
+    it to the neighbours.)  Use as [arm]'s [on_revive]. *)

@@ -1,0 +1,229 @@
+(* Alive-restricted schedule checking ------------------------------------ *)
+
+let masked_schedule sched ~failed =
+  let m = Slpdas_core.Schedule.copy sched in
+  let sink = Slpdas_core.Schedule.sink m in
+  Array.iteri
+    (fun v dead ->
+      if dead && v <> sink then Slpdas_core.Schedule.clear_slot m v)
+    failed;
+  m
+
+let alive_reachable graph ~sink ~failed =
+  Slpdas_wsn.Graph.reachable_from graph sink ~excluding:(fun v -> failed.(v))
+
+let restrict ~reach violations =
+  List.filter
+    (function
+      | Slpdas_core.Das_check.Unassigned v -> reach.(v)
+      | Slpdas_core.Das_check.Collision { a; b; slot = _ } ->
+        reach.(a) && reach.(b)
+      | Slpdas_core.Das_check.Early_parent { node; parent } ->
+        reach.(node) && reach.(parent)
+      | Slpdas_core.Das_check.No_forwarder { node } -> reach.(node))
+    violations
+
+let check_weak graph ~sink ~failed sched =
+  let m = masked_schedule sched ~failed in
+  restrict
+    ~reach:(alive_reachable graph ~sink ~failed)
+    (Slpdas_core.Das_check.check_weak graph m)
+
+let check_strong graph ~sink ~failed sched =
+  let m = masked_schedule sched ~failed in
+  restrict
+    ~reach:(alive_reachable graph ~sink ~failed)
+    (Slpdas_core.Das_check.check_strong graph m)
+
+let weak_ok graph ~sink ~failed sched =
+  match check_weak graph ~sink ~failed sched with [] -> true | _ :: _ -> false
+
+let strong_ok graph ~sink ~failed sched =
+  match check_strong graph ~sink ~failed sched with
+  | [] -> true
+  | _ :: _ -> false
+
+(* Reports ---------------------------------------------------------------- *)
+
+type epoch = {
+  index : int;
+  kind : string;
+  time : float;
+  affected : int list;
+  reconverge_periods : int option;
+  delivery_during : float option;
+}
+
+type report = {
+  name : string;
+  seed : int;
+  nodes : int;
+  crashes : int;
+  revivals : int;
+  link_ops : int;
+  epochs : epoch list;
+  weak_final : bool;
+  strong_final : bool;
+  slp_before : bool option;
+  slp_after : bool option;
+  unrepaired : int;
+  alive_unreachable : int;
+  delivery_ratio : float;
+  duration_seconds : float;
+}
+
+(* Mergeable aggregates --------------------------------------------------- *)
+
+type counters = {
+  runs : int;
+  crashes : int;
+  revivals : int;
+  link_ops : int;
+  epochs : int;
+  reconverged : int;
+  reconverge_periods_total : int;
+  unrepaired_total : int;
+  alive_unreachable_total : int;
+  weak_final : int;
+  strong_final : int;
+  slp_before_aware : int;
+  slp_before_known : int;
+  slp_after_aware : int;
+  slp_after_known : int;
+  delivery_ratio_total : float;
+}
+
+let empty =
+  {
+    runs = 0;
+    crashes = 0;
+    revivals = 0;
+    link_ops = 0;
+    epochs = 0;
+    reconverged = 0;
+    reconverge_periods_total = 0;
+    unrepaired_total = 0;
+    alive_unreachable_total = 0;
+    weak_final = 0;
+    strong_final = 0;
+    slp_before_aware = 0;
+    slp_before_known = 0;
+    slp_after_aware = 0;
+    slp_after_known = 0;
+    delivery_ratio_total = 0.0;
+  }
+
+let of_report (r : report) =
+  let reconverged, reconverge_total =
+    List.fold_left
+      (fun (n, total) e ->
+        match e.reconverge_periods with
+        | Some p -> (n + 1, total + p)
+        | None -> (n, total))
+      (0, 0) r.epochs
+  in
+  let flag b = if b then 1 else 0 in
+  let opt_flags = function
+    | Some aware -> (flag aware, 1)
+    | None -> (0, 0)
+  in
+  let slp_before_aware, slp_before_known = opt_flags r.slp_before in
+  let slp_after_aware, slp_after_known = opt_flags r.slp_after in
+  {
+    runs = 1;
+    crashes = r.crashes;
+    revivals = r.revivals;
+    link_ops = r.link_ops;
+    epochs = List.length r.epochs;
+    reconverged;
+    reconverge_periods_total = reconverge_total;
+    unrepaired_total = r.unrepaired;
+    alive_unreachable_total = r.alive_unreachable;
+    weak_final = flag r.weak_final;
+    strong_final = flag r.strong_final;
+    slp_before_aware;
+    slp_before_known;
+    slp_after_aware;
+    slp_after_known;
+    delivery_ratio_total = r.delivery_ratio;
+  }
+
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    crashes = a.crashes + b.crashes;
+    revivals = a.revivals + b.revivals;
+    link_ops = a.link_ops + b.link_ops;
+    epochs = a.epochs + b.epochs;
+    reconverged = a.reconverged + b.reconverged;
+    reconverge_periods_total =
+      a.reconverge_periods_total + b.reconverge_periods_total;
+    unrepaired_total = a.unrepaired_total + b.unrepaired_total;
+    alive_unreachable_total =
+      a.alive_unreachable_total + b.alive_unreachable_total;
+    weak_final = a.weak_final + b.weak_final;
+    strong_final = a.strong_final + b.strong_final;
+    slp_before_aware = a.slp_before_aware + b.slp_before_aware;
+    slp_before_known = a.slp_before_known + b.slp_before_known;
+    slp_after_aware = a.slp_after_aware + b.slp_after_aware;
+    slp_after_known = a.slp_after_known + b.slp_after_known;
+    delivery_ratio_total = a.delivery_ratio_total +. b.delivery_ratio_total;
+  }
+
+(* Like Event.merge_all: fold in input order, so the aggregate is identical
+   for every domain count. *)
+let merge_all = List.fold_left merge empty
+
+let mean_reconverge_periods c =
+  if c.reconverged = 0 then None
+  else
+    Some (float_of_int c.reconverge_periods_total /. float_of_int c.reconverged)
+
+let mean_delivery_ratio c =
+  if c.runs = 0 then None
+  else Some (c.delivery_ratio_total /. float_of_int c.runs)
+
+let to_json c =
+  let b = Buffer.create 256 in
+  let field name v = Printf.bprintf b "  %S: %d,\n" name v in
+  Buffer.add_string b "{\n";
+  field "runs" c.runs;
+  field "crashes" c.crashes;
+  field "revivals" c.revivals;
+  field "link_ops" c.link_ops;
+  field "epochs" c.epochs;
+  field "reconverged" c.reconverged;
+  field "reconverge_periods_total" c.reconverge_periods_total;
+  field "unrepaired_total" c.unrepaired_total;
+  field "alive_unreachable_total" c.alive_unreachable_total;
+  field "weak_final" c.weak_final;
+  field "strong_final" c.strong_final;
+  field "slp_before_aware" c.slp_before_aware;
+  field "slp_before_known" c.slp_before_known;
+  field "slp_after_aware" c.slp_after_aware;
+  field "slp_after_known" c.slp_after_known;
+  let float_field name v =
+    Printf.bprintf b "  %S: %s" name
+      (match v with None -> "null" | Some f -> Printf.sprintf "%.6f" f)
+  in
+  float_field "mean_reconverge_periods" (mean_reconverge_periods c);
+  Buffer.add_string b ",\n";
+  float_field "mean_delivery_ratio" (mean_delivery_ratio c);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>runs %d: %d crashes, %d revivals, %d link ops over %d epochs; %d \
+     reconverged%s; %d/%d weak, %d/%d strong; SLP %d/%d before, %d/%d after; \
+     %d unrepaired, %d unreachable%s@]"
+    c.runs c.crashes c.revivals c.link_ops c.epochs c.reconverged
+    (match mean_reconverge_periods c with
+    | None -> ""
+    | Some m -> Printf.sprintf " (mean %.1f periods)" m)
+    c.weak_final c.runs c.strong_final c.runs c.slp_before_aware
+    c.slp_before_known c.slp_after_aware c.slp_after_known c.unrepaired_total
+    c.alive_unreachable_total
+    (match mean_delivery_ratio c with
+    | None -> ""
+    | Some m -> Printf.sprintf "; mean delivery %.3f" m)

@@ -1,0 +1,146 @@
+(** Resilience metrics: schedule validity and repair quality under faults.
+
+    The DAS conditions ({!Slpdas_core.Das_check}) are stated for a fully
+    alive network.  After crash-stops, the honest question is whether the
+    {e surviving} network still carries a valid aggregation schedule, so
+    this module re-checks schedules under an alive-restriction: dead nodes
+    are cleared from a copy of the schedule, and violations are kept only
+    when every endpoint is an alive node that can still reach the sink
+    through alive nodes.  A partitioned fragment cannot deliver data no
+    matter what slots it holds, so its violations are not the schedule's
+    fault and are filtered out (they are counted separately as
+    [alive_unreachable]).
+
+    The per-run {!report} and the mergeable {!counters} follow the
+    {!Slpdas_sim.Event} conventions: counters merge associatively and
+    commutatively field-by-field, {!merge_all} folds in input order, and
+    equal run sets give byte-equal {!to_json} output for every domain
+    count. *)
+
+(** {2 Alive-restricted checking} *)
+
+val masked_schedule :
+  Slpdas_core.Schedule.t -> failed:bool array -> Slpdas_core.Schedule.t
+(** Copy the schedule with every failed node's slot cleared (the sink, which
+    never fails, is left untouched). *)
+
+val alive_reachable :
+  Slpdas_wsn.Graph.t -> sink:int -> failed:bool array -> bool array
+(** [alive_reachable g ~sink ~failed] marks the nodes that reach [sink]
+    through alive nodes only — the survivors that can still participate in
+    the convergecast. *)
+
+val check_weak :
+  Slpdas_wsn.Graph.t ->
+  sink:int ->
+  failed:bool array ->
+  Slpdas_core.Schedule.t ->
+  Slpdas_core.Das_check.violation list
+(** Weak-DAS violations of the masked schedule, restricted to the
+    alive-reachable nodes. *)
+
+val check_strong :
+  Slpdas_wsn.Graph.t ->
+  sink:int ->
+  failed:bool array ->
+  Slpdas_core.Schedule.t ->
+  Slpdas_core.Das_check.violation list
+(** Strong-DAS variant of {!check_weak}. *)
+
+val weak_ok :
+  Slpdas_wsn.Graph.t ->
+  sink:int ->
+  failed:bool array ->
+  Slpdas_core.Schedule.t ->
+  bool
+
+val strong_ok :
+  Slpdas_wsn.Graph.t ->
+  sink:int ->
+  failed:bool array ->
+  Slpdas_core.Schedule.t ->
+  bool
+
+(** {2 Per-run repair reports} *)
+
+(** One fault epoch: a group of same-time plan operations and how the
+    protocol recovered from it. *)
+type epoch = {
+  index : int;  (** position in the run's epoch sequence, from 0 *)
+  kind : string;  (** ["crash"], ["revive"], ["link"] or ["burst"] *)
+  time : float;  (** simulation time of the epoch's operations *)
+  affected : int list;  (** crashed / revived nodes; [[]] for link epochs *)
+  reconverge_periods : int option;
+      (** periods from the epoch until the first schedule probe whose
+          alive-restricted weak check passes again; [None] if the run ended
+          (or the setup window closed) before reconvergence, or for
+          link/burst epochs, which leave the schedule untouched *)
+  delivery_during : float option;
+      (** delivery ratio for readings generated while the epoch was "open"
+          (burst epochs: during the burst); [None] when no reading was
+          generated in the window *)
+}
+
+type report = {
+  name : string;
+  seed : int;
+  nodes : int;
+  crashes : int;  (** total crash-stop operations executed *)
+  revivals : int;
+  link_ops : int;  (** link overrides plus burst set/clear operations *)
+  epochs : epoch list;
+  weak_final : bool;  (** alive-restricted weak DAS of the final schedule *)
+  strong_final : bool;
+  slp_before : bool option;
+      (** δ-SLP-awareness ({!Slpdas_core.Verifier}) of the last schedule
+          probe before the first fault; [None] if no probe preceded it *)
+  slp_after : bool option;
+      (** δ-SLP-awareness of the final masked schedule *)
+  unrepaired : int;
+      (** alive-reachable non-sink nodes still slotless at the end *)
+  alive_unreachable : int;
+      (** alive nodes partitioned from the sink (excluded from checks) *)
+  delivery_ratio : float;  (** over the whole normal-operation window *)
+  duration_seconds : float;
+}
+
+(** {2 Mergeable aggregates} *)
+
+type counters = {
+  runs : int;
+  crashes : int;
+  revivals : int;
+  link_ops : int;
+  epochs : int;
+  reconverged : int;  (** epochs that reconverged *)
+  reconverge_periods_total : int;
+  unrepaired_total : int;
+  alive_unreachable_total : int;
+  weak_final : int;  (** runs whose final schedule passed the weak check *)
+  strong_final : int;
+  slp_before_aware : int;
+  slp_before_known : int;  (** runs where [slp_before] was [Some _] *)
+  slp_after_aware : int;
+  slp_after_known : int;
+  delivery_ratio_total : float;
+}
+
+val empty : counters
+val of_report : report -> counters
+
+val merge : counters -> counters -> counters
+(** Field-wise sum: associative and commutative, [empty] is neutral. *)
+
+val merge_all : counters list -> counters
+(** Fold {!merge} over the list in input order (the {!Slpdas_sim.Event}
+    convention), so aggregates are independent of how runs were scheduled
+    across domains. *)
+
+val mean_reconverge_periods : counters -> float option
+val mean_delivery_ratio : counters -> float option
+
+val to_json : counters -> string
+(** One flat JSON object; derived means are emitted as [null] when
+    undefined.  Deterministic: equal counters give byte-equal strings. *)
+
+val pp : Format.formatter -> counters -> unit

@@ -42,6 +42,8 @@ and ('s, 'm) t = {
          its neighbours'), so a jam check scans only candidates that could
          possibly match instead of folding the global log. *)
   rng : Slpdas_util.Rng.t;
+  program : self:int -> ('s, 'm) Slpdas_gcn.program;
+      (* kept so [revive_node] can boot a fresh instance for a crashed node *)
   instances : ('s, 'm) Slpdas_gcn.Instance.t array;
   queue : ('s, 'm) event Slpdas_util.Heap.t;
   timer_generations : (int * string, int) Hashtbl.t;  (* Reference *)
@@ -56,6 +58,11 @@ and ('s, 'm) t = {
   broadcast_by_node : int array;
   mutable halted : bool;
   failed : bool array;
+  link_overrides : (int * int, float) Hashtbl.t;
+      (* fault layer: (min u v, max u v) → extra loss probability in (0, 1];
+         1.0 is a hard link-down.  Applied on top of the base link model. *)
+  mutable global_loss : float;
+      (* fault layer: network-wide extra loss probability; 0 = inactive *)
 }
 
 let compare_events a b =
@@ -94,15 +101,55 @@ let stop t = t.halted <- true
 
 let stopped t = t.halted
 
-let fail_node t v =
-  if v < 0 || v >= Array.length t.failed then
-    invalid_arg "Engine.fail_node: node out of range";
-  t.failed.(v) <- true
-
 let node_failed t v =
   if v < 0 || v >= Array.length t.failed then
     invalid_arg "Engine.node_failed: node out of range";
   t.failed.(v)
+
+(* ------------------------------------------------------------------ *)
+(* Fault layer: link overrides and global loss                        *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_unit p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
+
+let link_key u v = if u <= v then (u, v) else (v, u)
+
+let set_link_loss t ~a ~b loss =
+  let n = Array.length t.failed in
+  if a < 0 || a >= n || b < 0 || b >= n then
+    invalid_arg "Engine.set_link_loss: node out of range";
+  let loss = clamp_unit loss in
+  let lo, hi = link_key a b in
+  if loss > 0.0 then Hashtbl.replace t.link_overrides (lo, hi) loss
+  else Hashtbl.remove t.link_overrides (lo, hi);
+  emit t (Event.Link_changed { time = t.now; a = lo; b = hi; loss })
+
+let link_loss t ~a ~b =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.link_overrides (link_key a b))
+
+let set_global_loss t loss =
+  let loss = clamp_unit loss in
+  t.global_loss <- loss;
+  emit t (Event.Link_changed { time = t.now; a = -1; b = -1; loss })
+
+let global_loss t = t.global_loss
+
+let faults_active t =
+  t.global_loss > 0.0 || Hashtbl.length t.link_overrides > 0
+
+(* Fault-layer delivery filter, consulted only when the base link model
+   delivered and some override is active, so fault-free runs draw exactly
+   the RNG sequence they always did.  Both impls call this per neighbour in
+   adjacency order at broadcast time, which keeps Fast and Reference
+   draw-identical under faults.  [Rng.bernoulli] consumes no randomness for
+   degenerate probabilities, so a hard link-down (loss = 1) costs no draw,
+   and an edge-override drop short-circuits the global draw in both impls
+   alike. *)
+let fault_dropped t u v =
+  (match Hashtbl.find_opt t.link_overrides (link_key u v) with
+  | Some p -> Slpdas_util.Rng.bernoulli t.rng p
+  | None -> false)
+  || (t.global_loss > 0.0 && Slpdas_util.Rng.bernoulli t.rng t.global_loss)
 
 let push t ~at kind =
   let seq = t.next_seq in
@@ -238,6 +285,7 @@ let rec apply_effects t node effects =
         record_broadcast t node;
         if listening t then
           notify t (Event.Broadcast { time = t.now; sender = node; msg });
+        let faults = faults_active t in
         (match t.impl with
         | Reference ->
           Array.iter
@@ -245,6 +293,7 @@ let rec apply_effects t node effects =
               if
                 Link_model.delivered t.link t.rng
                   ~distance_m:(distance t node v)
+                && not (faults && fault_dropped t node v)
               then
                 push t
                   ~at:(t.now +. propagation_delay)
@@ -274,18 +323,26 @@ let rec apply_effects t node effects =
                 (Event.Drop
                    { time = t.now; node = v; sender = node; collision = false })
           in
+          (* [keep] runs the fault layer after the base verdict, mirroring
+             the reference path's [&&] exactly (same conditional draws, same
+             adjacency order). *)
+          let keep v =
+            if faults && fault_dropped t node v then drop v
+            else begin
+              Array.unsafe_set scratch !count v;
+              incr count
+            end
+          in
           (match t.link_cache with
-          | Always_delivered ->
+          | Always_delivered when not faults ->
             Array.blit nbrs 0 scratch 0 deg;
             count := deg
+          | Always_delivered -> Array.iter keep nbrs
           | Never_delivered -> Array.iter drop nbrs
           | Bernoulli_loss p ->
             for i = 0 to deg - 1 do
               let v = Array.unsafe_get nbrs i in
-              if not (Slpdas_util.Rng.bernoulli t.rng p) then begin
-                Array.unsafe_set scratch !count v;
-                incr count
-              end
+              if not (Slpdas_util.Rng.bernoulli t.rng p) then keep v
               else drop v
             done
           | Gaussian_rx { noise_mean; noise_std; snr_threshold; rx_power } ->
@@ -295,10 +352,7 @@ let rec apply_effects t node effects =
               let noise =
                 Slpdas_util.Rng.gaussian t.rng ~mean:noise_mean ~std:noise_std
               in
-              if Array.unsafe_get row i -. noise >= snr_threshold then begin
-                Array.unsafe_set scratch !count v;
-                incr count
-              end
+              if Array.unsafe_get row i -. noise >= snr_threshold then keep v
               else drop v
             done);
           if !count > 0 then
@@ -319,6 +373,48 @@ and inject t ~node trigger =
   if not t.failed.(node) then begin
     let effects = Slpdas_gcn.Instance.deliver t.instances.(node) trigger in
     apply_effects t node effects
+  end
+
+let fail_node t v =
+  if v < 0 || v >= Array.length t.failed then
+    invalid_arg "Engine.fail_node: node out of range";
+  if not t.failed.(v) then begin
+    t.failed.(v) <- true;
+    (* Cancel every pending timer of the node by bumping its generations.
+       The fires would be swallowed by the [inject] failure guard anyway,
+       but cancelling keeps them out of the event counts and lets the queue
+       drain.  A bump never un-stales a pending fire (generations only
+       grow), so Fast and Reference — whose stored generation values may
+       differ for timers the node never armed — still agree on every
+       staleness verdict. *)
+    (match t.impl with
+    | Fast ->
+      let row = t.gens.(v) in
+      for i = 0 to Array.length row - 1 do
+        row.(i) <- row.(i) + 1
+      done
+    | Reference ->
+      Hashtbl.filter_map_inplace
+        (fun (node, _) g -> if node = v then Some (g + 1) else Some g)
+        t.timer_generations);
+    emit t (Event.Node_failed { time = t.now; node = v })
+  end
+
+let revive_node t v =
+  if v < 0 || v >= Array.length t.failed then
+    invalid_arg "Engine.revive_node: node out of range";
+  if t.failed.(v) then begin
+    t.failed.(v) <- false;
+    (* The node rejoins as a fresh boot: crash-stop wiped its volatile
+       state, so a brand-new instance runs [init] (and its spontaneous
+       fixpoint) at the current time.  In-flight deliveries queued before
+       the crash reach the fresh instance — identically in both impls. *)
+    let instance, effects =
+      Slpdas_gcn.Instance.create (t.program ~self:v) ~self:v
+    in
+    t.instances.(v) <- instance;
+    emit t (Event.Node_revived { time = t.now; node = v });
+    apply_effects t v effects
   end
 
 let build_link_cache ~impl ~topology ~link ~neighbours =
@@ -380,6 +476,7 @@ let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
         | Fast, Some _ -> Array.init n (fun _ -> Queue.create ())
         | _ -> [||]);
       rng;
+      program;
       instances = Array.map fst boot;
       queue;
       timer_generations =
@@ -398,6 +495,8 @@ let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
       broadcast_by_node = Array.make n 0;
       halted = false;
       failed = Array.make n false;
+      link_overrides = Hashtbl.create 8;
+      global_loss = 0.0;
     }
   in
   Array.iteri (fun v (_, effects) -> apply_effects t v effects) boot;

@@ -113,11 +113,47 @@ val stopped : ('s, 'm) t -> bool
 val fail_node : ('s, 'm) t -> int -> unit
 (** [fail_node t v] crash-stops node [v]: from now on it processes no
     triggers (timers, receptions, injections) and emits nothing.  Its last
-    state remains observable through {!node_state}.  Used by
-    fault-injection experiments; irreversible.
+    state remains observable through {!node_state}.  The node's pending
+    timers are cancelled, and an {!Event.Node_failed} event is published
+    and counted.  Idempotent; reversible with {!revive_node}.
+    @raise Invalid_argument if [v] is out of range. *)
+
+val revive_node : ('s, 'm) t -> int -> unit
+(** [revive_node t v] reboots a crashed node: a fresh program instance is
+    created for [v] (crash-stop wiped its volatile state) and its boot
+    effects are applied at the current time, after an {!Event.Node_revived}
+    event is published.  No-op if [v] is not failed.
     @raise Invalid_argument if [v] is out of range. *)
 
 val node_failed : ('s, 'm) t -> int -> bool
+
+(** {2 Fault layer}
+
+    A link-override table layered on top of the base {!Link_model}: each
+    override adds an extra, independent loss probability for one edge
+    (or, via {!set_global_loss}, for every delivery).  The layer is
+    consulted only after the base model delivers and only while at least
+    one override is active, so fault-free runs consume exactly the RNG
+    draws they always did — the engine-equivalence contract extends to
+    runs with faults. *)
+
+val set_link_loss : ('s, 'm) t -> a:int -> b:int -> float -> unit
+(** [set_link_loss t ~a ~b p] makes deliveries on the (undirected) edge
+    [(a, b)] additionally fail with probability [p] (clamped to [\[0,1\]];
+    [1] is a hard link-down, [0] removes the override).  Publishes and
+    counts an {!Event.Link_changed} event.
+    @raise Invalid_argument if a node is out of range. *)
+
+val link_loss : ('s, 'm) t -> a:int -> b:int -> float
+(** Current override for an edge; [0] when none. *)
+
+val set_global_loss : ('s, 'm) t -> float -> unit
+(** [set_global_loss t p] makes {e every} delivery additionally fail with
+    probability [p] (clamped; [0] switches the burst off) — transient
+    message-loss bursts.  Publishes an {!Event.Link_changed} event with
+    [a = b = -1]. *)
+
+val global_loss : ('s, 'm) t -> float
 
 val step : ('s, 'm) t -> bool
 (** Process the next event.  [false] iff the queue was empty.  Under the

@@ -5,6 +5,9 @@ type 'm t =
   | Timer_fire of { time : float; node : int; timer : string }
   | Attacker_move of { time : float; from_node : int; to_node : int }
   | Phase_transition of { time : float; phase : string }
+  | Node_failed of { time : float; node : int }
+  | Node_revived of { time : float; node : int }
+  | Link_changed of { time : float; a : int; b : int; loss : float }
 
 let time = function
   | Broadcast { time; _ }
@@ -12,7 +15,10 @@ let time = function
   | Drop { time; _ }
   | Timer_fire { time; _ }
   | Attacker_move { time; _ }
-  | Phase_transition { time; _ } -> time
+  | Phase_transition { time; _ }
+  | Node_failed { time; _ }
+  | Node_revived { time; _ }
+  | Link_changed { time; _ } -> time
 
 let kind_name = function
   | Broadcast _ -> "broadcast"
@@ -22,6 +28,9 @@ let kind_name = function
   | Timer_fire _ -> "timer"
   | Attacker_move _ -> "attacker-move"
   | Phase_transition _ -> "phase"
+  | Node_failed _ -> "node-failed"
+  | Node_revived _ -> "node-revived"
+  | Link_changed _ -> "link-changed"
 
 type counters = {
   runs : int;
@@ -32,6 +41,9 @@ type counters = {
   timer_fires : int;
   attacker_moves : int;
   phase_transitions : int;
+  node_failures : int;
+  node_revivals : int;
+  link_changes : int;
   first_event : float option;
   last_event : float option;
 }
@@ -46,13 +58,17 @@ let empty =
     timer_fires = 0;
     attacker_moves = 0;
     phase_transitions = 0;
+    node_failures = 0;
+    node_revivals = 0;
+    link_changes = 0;
     first_event = None;
     last_event = None;
   }
 
 let total c =
   c.broadcasts + c.deliveries + c.drops_link + c.drops_collision
-  + c.timer_fires + c.attacker_moves + c.phase_transitions
+  + c.timer_fires + c.attacker_moves + c.phase_transitions + c.node_failures
+  + c.node_revivals + c.link_changes
 
 let omin a b =
   match (a, b) with
@@ -77,6 +93,9 @@ let merge a b =
     timer_fires = a.timer_fires + b.timer_fires;
     attacker_moves = a.attacker_moves + b.attacker_moves;
     phase_transitions = a.phase_transitions + b.phase_transitions;
+    node_failures = a.node_failures + b.node_failures;
+    node_revivals = a.node_revivals + b.node_revivals;
+    link_changes = a.link_changes + b.link_changes;
     first_event = omin a.first_event b.first_event;
     last_event = omax a.last_event b.last_event;
   }
@@ -95,6 +114,9 @@ type tally = {
   mutable t_timer_fires : int;
   mutable t_attacker_moves : int;
   mutable t_phase_transitions : int;
+  mutable t_node_failures : int;
+  mutable t_node_revivals : int;
+  mutable t_link_changes : int;
   mutable t_first_event : float;  (* infinity = none yet *)
   mutable t_last_event : float;  (* neg_infinity = none yet *)
 }
@@ -108,6 +130,9 @@ let tally_create () =
     t_timer_fires = 0;
     t_attacker_moves = 0;
     t_phase_transitions = 0;
+    t_node_failures = 0;
+    t_node_revivals = 0;
+    t_link_changes = 0;
     t_first_event = infinity;
     t_last_event = neg_infinity;
   }
@@ -146,6 +171,15 @@ let record ta = function
   | Phase_transition { time; _ } ->
     ta.t_phase_transitions <- ta.t_phase_transitions + 1;
     touch ta time
+  | Node_failed { time; _ } ->
+    ta.t_node_failures <- ta.t_node_failures + 1;
+    touch ta time
+  | Node_revived { time; _ } ->
+    ta.t_node_revivals <- ta.t_node_revivals + 1;
+    touch ta time
+  | Link_changed { time; _ } ->
+    ta.t_link_changes <- ta.t_link_changes + 1;
+    touch ta time
 
 let tally_broadcasts ta = ta.t_broadcasts
 
@@ -161,6 +195,9 @@ let snapshot ta =
     timer_fires = ta.t_timer_fires;
     attacker_moves = ta.t_attacker_moves;
     phase_transitions = ta.t_phase_transitions;
+    node_failures = ta.t_node_failures;
+    node_revivals = ta.t_node_revivals;
+    link_changes = ta.t_link_changes;
     first_event =
       (if ta.t_first_event = infinity then None else Some ta.t_first_event);
     last_event =
@@ -179,6 +216,9 @@ let to_json c =
   field "timer_fires" c.timer_fires;
   field "attacker_moves" c.attacker_moves;
   field "phase_transitions" c.phase_transitions;
+  field "node_failures" c.node_failures;
+  field "node_revivals" c.node_revivals;
+  field "link_changes" c.link_changes;
   field "total_events" (total c);
   let time_field name v =
     Printf.bprintf b "  %S: %s" name
@@ -193,8 +233,9 @@ let to_json c =
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>runs %d: %d broadcasts, %d deliveries, %d drops (%d link, %d \
-     collision), %d timer fires, %d attacker moves, %d phase transitions@]"
+     collision), %d timer fires, %d attacker moves, %d phase transitions, %d \
+     node failures, %d revivals, %d link changes@]"
     c.runs c.broadcasts c.deliveries
     (c.drops_link + c.drops_collision)
     c.drops_link c.drops_collision c.timer_fires c.attacker_moves
-    c.phase_transitions
+    c.phase_transitions c.node_failures c.node_revivals c.link_changes

@@ -28,6 +28,15 @@ type 'm t =
       (** Emitted by the experiment harness when the eavesdropper moves. *)
   | Phase_transition of { time : float; phase : string }
       (** Emitted by the experiment harness at protocol phase boundaries. *)
+  | Node_failed of { time : float; node : int }
+      (** Emitted by {!Engine.fail_node} when a node crash-stops. *)
+  | Node_revived of { time : float; node : int }
+      (** Emitted by {!Engine.revive_node} when a crashed node reboots. *)
+  | Link_changed of { time : float; a : int; b : int; loss : float }
+      (** Emitted when a fault-layer link override changes: the edge
+          [(a, b)] now drops deliveries with probability [loss] on top of
+          the base link model ([loss = 0] restores it).  [a = b = -1]
+          denotes the network-wide loss floor ({!Engine.set_global_loss}). *)
 
 val time : 'm t -> float
 
@@ -45,6 +54,9 @@ type counters = {
   timer_fires : int;
   attacker_moves : int;
   phase_transitions : int;
+  node_failures : int;
+  node_revivals : int;
+  link_changes : int;
   first_event : float option;  (** earliest event time over all runs *)
   last_event : float option;  (** latest event time over all runs *)
 }

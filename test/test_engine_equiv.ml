@@ -35,6 +35,9 @@ let check_counters label (expected : Event.counters) (actual : Event.counters)
   chk "timer_fires" (fun c -> c.Event.timer_fires);
   chk "attacker_moves" (fun c -> c.Event.attacker_moves);
   chk "phase_transitions" (fun c -> c.Event.phase_transitions);
+  chk "node_failures" (fun c -> c.Event.node_failures);
+  chk "node_revivals" (fun c -> c.Event.node_revivals);
+  chk "link_changes" (fun c -> c.Event.link_changes);
   Alcotest.(check (option (float 0.0)))
     (label ^ ": first_event") expected.Event.first_event actual.Event.first_event;
   Alcotest.(check (option (float 0.0)))
@@ -236,6 +239,57 @@ let test_engine_states_airtime () =
         (run_wave ~impl:Engine.Fast ~airtime:0.003 link))
     links
 
+(* Fault layer: mid-run crash-stops, a revival, link overrides and a loss
+   burst, all queued at fixed times.  Both implementations must agree on
+   every observable — including the typed failure/revival/link-change
+   counters and the fault-layer's extra randomness draws, which are made
+   per neighbour in adjacency order in both engines. *)
+let run_wave_faulted ~impl link =
+  let topology = Topology.grid 6 in
+  let e =
+    Engine.create ~impl ~topology ~link ~rng:(Rng.create 42)
+      ~program:wave_program ()
+  in
+  Engine.schedule e ~at:2.5 (fun e -> Engine.fail_node e 7);
+  Engine.schedule e ~at:3.0 (fun e -> Engine.set_link_loss e ~a:0 ~b:1 0.6);
+  Engine.schedule e ~at:3.5 (fun e -> Engine.fail_node e 14);
+  Engine.schedule e ~at:4.5 (fun e -> Engine.revive_node e 7);
+  Engine.schedule e ~at:5.0 (fun e -> Engine.set_global_loss e 0.3);
+  Engine.schedule e ~at:6.0 (fun e -> Engine.set_global_loss e 0.0);
+  Engine.schedule e ~at:6.5 (fun e -> Engine.set_link_loss e ~a:0 ~b:1 0.0);
+  Engine.run_until e 8.0;
+  e
+
+let test_fault_equivalence () =
+  List.iter
+    (fun (name, link) ->
+      check_engines (name ^ "+faults")
+        (run_wave_faulted ~impl:Engine.Reference link)
+        (run_wave_faulted ~impl:Engine.Fast link))
+    links
+
+(* The full DAS protocol with crash-stops and a revival during the setup
+   window, armed through the scenario fault hooks exactly as the churn
+   workload does. *)
+let test_das_with_crashes () =
+  let topology = Topology.grid 5 in
+  List.iter
+    (fun (name, link) ->
+      let cfg =
+        { (Runner.default_config ~topology ~mode:Protocol.Slp ~seed:13) with
+          Runner.link }
+      in
+      let scenario =
+        Scenario.with_faults
+          (fun e ->
+            Engine.schedule e ~at:22.0 (fun e -> Engine.fail_node e 7);
+            Engine.schedule e ~at:47.0 (fun e -> Engine.fail_node e 18);
+            Engine.schedule e ~at:120.0 (fun e -> Engine.revive_node e 7))
+          (Runner.scenario cfg)
+      in
+      check_scenario ("das+crashes/" ^ name) scenario)
+    links
+
 (* Mid-run stop: a subscriber halts the run at a fixed broadcast count.
    Both implementations must stop with the same observable state — the
    fast engine re-checks the halt flag between batched recipients. *)
@@ -275,6 +329,10 @@ let () =
             test_engine_states;
           Alcotest.test_case "states + traces with airtime" `Quick
             test_engine_states_airtime;
+          Alcotest.test_case "crashes, revival, link overrides" `Quick
+            test_fault_equivalence;
+          Alcotest.test_case "das with mid-setup crashes" `Quick
+            test_das_with_crashes;
           Alcotest.test_case "mid-run stop" `Quick test_stop_equivalence;
         ] );
     ]

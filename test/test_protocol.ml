@@ -431,6 +431,80 @@ let test_setup_survives_corner_cut () =
         ((Engine.node_state engine v).Protocol.slot <> None)
   done
 
+let test_parent_crash_reparents () =
+  (* Crash the most-loaded parent in the middle of the setup window, after
+     Phase 1 has converged, and let the failure detector tell its
+     neighbours one dissemination period later (Messages.Neighbour_down,
+     exactly what Slpdas_fault.Injector injects).  The orphaned subtree
+     must re-parent onto alive nodes, the update cascade must re-lower any
+     now-invalid child slots, and the repaired schedule must pass the
+     alive-restricted weak DAS check. *)
+  let topo = Topology.grid 7 in
+  let g = topo.Topology.graph in
+  let sink = topo.Topology.sink in
+  let config = make_config ~seed:5 topo in
+  let engine =
+    Engine.create ~topology:topo ~link:Link_model.Ideal ~rng:(Rng.create 5)
+      ~program:(Protocol.program config) ()
+  in
+  let victim = ref (-1) in
+  let orphans = ref [] in
+  Engine.schedule engine
+    ~at:(40.0 *. Protocol.period_length config)
+    (fun e ->
+      let best = ref (-1) in
+      let best_count = ref 0 in
+      for v = 0 to Graph.n g - 1 do
+        if v <> sink then begin
+          let count =
+            Protocol.Int_set.cardinal (Engine.node_state e v).Protocol.children
+          in
+          if count > !best_count then begin
+            best := v;
+            best_count := count
+          end
+        end
+      done;
+      victim := !best;
+      orphans :=
+        Protocol.Int_set.elements (Engine.node_state e !best).Protocol.children;
+      Engine.fail_node e !best;
+      Engine.schedule e
+        ~at:(Engine.time e +. config.Protocol.dissemination_period)
+        (fun e ->
+          Array.iter
+            (fun u ->
+              if not (Engine.node_failed e u) then
+                Engine.inject e ~node:u
+                  (Slpdas_gcn.Receive
+                     { sender = !victim; msg = Messages.Neighbour_down !victim }))
+            (Graph.neighbours g !victim)))
+  ;
+  Engine.run_until engine (Protocol.normal_start config);
+  Alcotest.(check bool) "victim had children" true (!orphans <> []);
+  let failed =
+    Array.init (Graph.n g) (fun v -> Engine.node_failed engine v)
+  in
+  List.iter
+    (fun c ->
+      let st = Engine.node_state engine c in
+      Alcotest.(check bool)
+        (Printf.sprintf "orphan %d re-parented onto an alive node" c)
+        true
+        (match st.Protocol.parent with
+        | Some p -> p <> !victim && not failed.(p)
+        | None -> false);
+      Alcotest.(check bool)
+        (Printf.sprintf "orphan %d keeps a slot" c)
+        true
+        (st.Protocol.slot <> None))
+    !orphans;
+  let schedule = extract config engine in
+  let masked = Slpdas_fault.Resilience.masked_schedule schedule ~failed in
+  Alcotest.(check (list string)) "repaired schedule passes weak DAS" []
+    (List.map Das_check.violation_to_string
+       (Slpdas_fault.Resilience.check_weak g ~sink ~failed masked))
+
 let test_setup_survives_interference () =
   (* With transmission airtime modelled, the jittered dissemination still
      converges to a complete strong DAS, and the collision-free TDMA keeps
@@ -686,6 +760,8 @@ let () =
         [
           Alcotest.test_case "survives early failures" `Slow
             test_setup_survives_early_failures;
+          Alcotest.test_case "parent crash repairs subtree" `Quick
+            test_parent_crash_reparents;
           Alcotest.test_case "survives corner cut" `Quick
             test_setup_survives_corner_cut;
           Alcotest.test_case "survives interference" `Quick

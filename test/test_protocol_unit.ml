@@ -151,21 +151,40 @@ let test_children_follow_parent_field () =
 let test_ninfo_merge_takes_lower_slot () =
   let inst, _ = boot ~self:0 () in
   hello inst ~from:1;
-  let send slot =
+  hello inst ~from:2;
+  let slot_of v =
+    match Protocol.Int_map.find_opt v (state inst).Protocol.ninfo with
+    | Some { Messages.slot; _ } -> Some slot
+    | None -> None
+  in
+  (* Third-party relays (sender 2 reporting about node 1) merge
+     monotonically: a stale higher value must not overwrite. *)
+  let relay slot =
     ignore
       (deliver inst
-         (Gcn.Receive { sender = 1; msg = dissem ~info:[ (1, ninfo 1 slot) ] () }))
+         (Gcn.Receive
+            { sender = 2; msg = dissem ~info:[ (1, ninfo 1 slot) ] () }))
   in
-  send 80;
-  send 90 (* stale higher value must not overwrite *);
-  (match Protocol.Int_map.find_opt 1 (state inst).Protocol.ninfo with
-  | Some { Messages.slot = 80; _ } -> ()
-  | Some { Messages.slot; _ } -> Alcotest.failf "kept slot %d, expected 80" slot
+  relay 80;
+  relay 90 (* stale higher value must not overwrite *);
+  (match slot_of 1 with
+  | Some 80 -> ()
+  | Some slot -> Alcotest.failf "kept slot %d, expected 80" slot
   | None -> Alcotest.fail "no entry");
-  send 70;
-  match Protocol.Int_map.find_opt 1 (state inst).Protocol.ninfo with
-  | Some { Messages.slot = 70; _ } -> ()
-  | _ -> Alcotest.fail "lower slot must win"
+  relay 70;
+  (match slot_of 1 with
+  | Some 70 -> ()
+  | _ -> Alcotest.fail "lower slot must win");
+  (* The owner's announcement about itself is authoritative and replaces
+     the relayed view outright — orphan repair may legitimately re-assign
+     a node a higher slot than the one relays still carry. *)
+  ignore
+    (deliver inst
+       (Gcn.Receive { sender = 1; msg = dissem ~info:[ (1, ninfo 1 85) ] () }));
+  match slot_of 1 with
+  | Some 85 -> ()
+  | Some slot -> Alcotest.failf "kept slot %d, expected owner's 85" slot
+  | None -> Alcotest.fail "no entry after owner announcement"
 
 (* ------------------------------------------------------------------ *)
 (* process: parent choice, ranks, collision resolution                *)

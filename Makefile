@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke clean
+.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke clean
 
 build:
 	dune build @all
@@ -45,6 +45,19 @@ chaos-smoke:
 	  --domains 2 --resilience-json _build/chaos_d2.json > /dev/null
 	diff -u _build/chaos_d1.json _build/chaos_d2.json
 	@echo "chaos resilience JSON byte-identical for --domains 1 and 2"
+
+# Sharded-engine determinism at (bounded) scale: a 101x101 grid's
+# observables JSON — schedule facts, attacker verdict, per-cell and merged
+# counters — must be byte-identical for --domains 1 and 2.  timeout(1)
+# enforces the wall-clock budget; the full 1000x1000 sweep lives in the
+# bench scale section (BENCH_SCALE=101,317,1000 make bench).
+scale-smoke:
+	timeout 120 dune exec bin/slp_das_cli.exe -- scale -d 101 --cells 4 \
+	  --domains 1 --json _build/scale_d1.json > /dev/null
+	timeout 120 dune exec bin/slp_das_cli.exe -- scale -d 101 --cells 4 \
+	  --domains 2 --json _build/scale_d2.json > /dev/null
+	diff -u _build/scale_d1.json _build/scale_d2.json
+	@echo "scale observables byte-identical for --domains 1 and 2"
 
 clean:
 	dune clean

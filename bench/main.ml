@@ -1191,6 +1191,143 @@ let engine_bench () =
     close_out oc
   with Sys_error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Scale: DAS build + attacker run vs grid size                       *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_SCALE selects the grid dimensions for the scale section as a
+   comma-separated list; unset (or "0") skips the measurements, because the
+   full sweep is minutes of wall clock.  The committed
+   bench_results/BENCH_scale.json records the last full
+   BENCH_SCALE=101,317,1000 run. *)
+let scale_dims =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | None | Some "" | Some "0" -> []
+  | Some s ->
+    List.filter_map
+      (fun tok -> int_of_string_opt (String.trim tok))
+      (String.split_on_char ',' s)
+
+let scale () =
+  section "Scale: DAS build + attacker run vs grid size";
+  if scale_dims = [] then
+    print_endline
+      "(skipped: set BENCH_SCALE=101,317,1000 to time large grids; \
+       bench_results/BENCH_scale.json records the last full run)"
+  else begin
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let records =
+      List.map
+        (fun dim ->
+          Printf.eprintf "[scale] %dx%d...\n%!" dim dim;
+          let topology, topo_s =
+            wall (fun () -> Slpdas_wsn.Topology.grid dim)
+          in
+          let g = topology.Slpdas_wsn.Topology.graph in
+          let sink = topology.Slpdas_wsn.Topology.sink in
+          let n = Slpdas_wsn.Graph.n g in
+          (* Graph.diameter is O(n·(n+m)) — deliberately not reported here;
+             see its .mli cost warning. *)
+          let das, build_s =
+            wall (fun () -> Slpdas_core.Das_build.build g ~sink)
+          in
+          let _compact, compact_s =
+            wall (fun () -> Slpdas_core.Das_build.build_compact g ~sink)
+          in
+          let attacker = Slpdas_core.Attacker.canonical ~start:sink in
+          let verdict, verify_s =
+            wall (fun () ->
+                Slpdas_core.Verifier.verify g
+                  das.Slpdas_core.Das_build.schedule ~attacker
+                  ~safety_period:(2 * n)
+                  ~source:topology.Slpdas_wsn.Topology.source)
+          in
+          let outcome =
+            match verdict with
+            | Slpdas_core.Verifier.Safe -> "safe"
+            | Slpdas_core.Verifier.Captured { periods; _ } ->
+              Printf.sprintf "captured@%d" periods
+          in
+          (* Sharded engine run: wave flooding on the Fast impl, one engine
+             per spatial cell fanned out over the domain pool. *)
+          let cells = max 1 (min 16 (dim / 50)) in
+          let plan, plan_s =
+            wall (fun () -> Slpdas_sim.Shard.plan ~cells_x:cells ~cells_y:cells topology)
+          in
+          let (_, merged), shard_s =
+            wall (fun () ->
+                Slpdas_sim.Shard.run ~domains plan
+                  ~link:Slpdas_sim.Link_model.Ideal ~seed:1
+                  ~program:(fun ~cell:_ ~self -> wave_program ~self)
+                  ~until:3.0)
+          in
+          ( dim,
+            n,
+            Slpdas_wsn.Graph.num_edges g,
+            topo_s,
+            build_s,
+            compact_s,
+            verify_s,
+            outcome,
+            cells,
+            Array.length plan.Slpdas_sim.Shard.cells,
+            plan.Slpdas_sim.Shard.cut_edges,
+            plan_s,
+            shard_s,
+            merged.Slpdas_sim.Event.broadcasts ))
+        scale_dims
+    in
+    emit ~name:"scale"
+      ~header:
+        [
+          "grid"; "nodes"; "topology"; "DAS build"; "compact"; "verify";
+          "cells"; "shard run"; "shard tx";
+        ]
+      (List.map
+         (fun (dim, n, _m, topo_s, build_s, compact_s, verify_s, outcome,
+               cells, _ncells, _cut, _plan_s, shard_s, tx) ->
+           [
+             Printf.sprintf "%dx%d" dim dim;
+             string_of_int n;
+             Printf.sprintf "%.3f s" topo_s;
+             Printf.sprintf "%.2f s" build_s;
+             Printf.sprintf "%.2f s" compact_s;
+             Printf.sprintf "%.4f s (%s)" verify_s outcome;
+             Printf.sprintf "%dx%d" cells cells;
+             Printf.sprintf "%.2f s" shard_s;
+             string_of_int tx;
+           ])
+         records);
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    try
+      let oc = open_out (Filename.concat results_dir "BENCH_scale.json") in
+      output_string oc "{\n  \"unit\": \"seconds, single run\",\n";
+      Printf.fprintf oc "  \"domains\": %d,\n  \"grids\": [\n" domains;
+      List.iteri
+        (fun i (dim, n, m, topo_s, build_s, compact_s, verify_s, outcome,
+                _cells, ncells, cut, plan_s, shard_s, tx) ->
+          Printf.fprintf oc
+            "    {\"dim\": %d, \"nodes\": %d, \"edges\": %d, \
+             \"topology_s\": %.4f, \"das_build_s\": %.4f, \
+             \"das_build_compact_s\": %.4f, \"verify_s\": %.4f, \
+             \"verify_outcome\": %S, \"shard_cells\": %d, \
+             \"shard_cut_edges\": %d, \"shard_plan_s\": %.4f, \
+             \"shard_run_s\": %.4f, \"shard_broadcasts\": %d}%s\n"
+            dim n m topo_s build_s compact_s verify_s outcome ncells cut
+            plan_s shard_s tx
+            (if i = List.length records - 1 then "" else ","))
+        records;
+      output_string oc "  ]\n}\n";
+      close_out oc
+    with Sys_error _ -> ()
+  end
+
 let () =
   Printf.printf
     "SLP-aware DAS benchmark harness (%s mode, base runs = %d)\n%!"
@@ -1213,7 +1350,8 @@ let () =
   ablation_das_validity ();
   if micro_mode then begin
     micro ();
-    timed "engine_bench" engine_bench
+    timed "engine_bench" engine_bench;
+    timed "scale" scale
   end
   else print_endline "\n(timing sections skipped: BENCH_MICRO=0)";
   print_newline ()

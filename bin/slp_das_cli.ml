@@ -109,14 +109,23 @@ let build_schedule ~topo ~seed ~slp ~sd ~gap =
 (* topology                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Graph.diameter is all-pairs BFS, O(n·(n+m)); reporting it on a
+   paper-scale grid is fine, on a 1000x1000 grid it is hours.  Anything
+   that prints it gates on this threshold. *)
+let diameter_node_limit = 10_000
+
 let topology_cmd =
   let run dim =
     let topo = topology_of_dim dim in
     Format.printf "%a@." Slpdas_wsn.Topology.pp topo;
     Format.printf "source-sink distance (dss): %d@."
       (Slpdas_wsn.Topology.source_sink_distance topo);
-    Format.printf "diameter: %d@."
-      (Slpdas_wsn.Graph.diameter topo.Slpdas_wsn.Topology.graph)
+    let g = topo.Slpdas_wsn.Topology.graph in
+    if Slpdas_wsn.Graph.n g <= diameter_node_limit then
+      Format.printf "diameter: %d@." (Slpdas_wsn.Graph.diameter g)
+    else
+      Format.printf "diameter: skipped (all-pairs BFS; > %d nodes)@."
+        diameter_node_limit
   in
   Cmd.v
     (Cmd.info "topology" ~doc:"Describe a grid topology")
@@ -613,6 +622,164 @@ let experiment_cmd =
       const run $ dim_arg $ runs_arg $ sd_arg $ gap_arg $ fast_arg
       $ show_params_arg)
 
+(* ------------------------------------------------------------------ *)
+(* scale                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wave-flooding workload for the sharded engine: local node 0 of each
+   cell floods a counter every simulated second. *)
+let scale_wave_program ~self =
+  let go_timer = Slpdas_gcn.Timer.intern "scale-wave" in
+  let init ~self =
+    ( 0,
+      if self = 0 then
+        [ Slpdas_gcn.Set_timer { timer = go_timer; after = 1.0 } ]
+      else [] )
+  in
+  let go =
+    {
+      Slpdas_gcn.name = "go";
+      handler =
+        (fun ~self:_ wave trigger ->
+          match trigger with
+          | Slpdas_gcn.Timeout t when Slpdas_gcn.Timer.equal t go_timer ->
+            Some
+              ( wave + 1,
+                [
+                  Slpdas_gcn.Broadcast (wave + 1);
+                  Slpdas_gcn.Set_timer { timer = go_timer; after = 1.0 };
+                ] )
+          | _ -> None);
+    }
+  in
+  let forward =
+    {
+      Slpdas_gcn.name = "forward";
+      handler =
+        (fun ~self:_ wave trigger ->
+          match trigger with
+          | Slpdas_gcn.Receive { msg; _ } when msg > wave ->
+            Some (msg, [ Slpdas_gcn.Broadcast msg ])
+          | _ -> None);
+    }
+  in
+  ignore self;
+  { Slpdas_gcn.init; actions = [ go; forward ]; spontaneous = [] }
+
+let scale_cmd =
+  let run dim seed cells domains until json =
+    (* Wall-clock reads here only feed the human-readable progress report;
+       the --json observables (what scale-smoke diffs) carry no timings. *)
+    let wall f =
+      (* slp-lint: allow wall-clock *)
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (* slp-lint: allow wall-clock *)
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let topo, topo_s = wall (fun () -> topology_of_dim dim) in
+    let g = topo.Slpdas_wsn.Topology.graph in
+    let sink = topo.Slpdas_wsn.Topology.sink in
+    let n = Slpdas_wsn.Graph.n g in
+    Format.printf "grid %dx%d: %d nodes, %d edges (built in %.3f s)@." dim dim
+      n
+      (Slpdas_wsn.Graph.num_edges g)
+      topo_s;
+    (* Compact builder: the minutes-scale paper fixpoint is the bench's
+       job (BENCH_scale.json); the CLI knob stays seconds-scale. *)
+    let das, build_s =
+      wall (fun () ->
+          Slpdas_core.Das_build.build_compact
+            ~rng:(Slpdas_util.Rng.create seed) g ~sink)
+    in
+    let schedule = das.Slpdas_core.Das_build.schedule in
+    let strong = Slpdas_core.Das_check.check_strong g schedule in
+    Format.printf "DAS (compact builder): %.3f s; period length %d; %s@."
+      build_s
+      (Slpdas_core.Das_build.schedule_length schedule)
+      (match strong with
+      | [] -> "strong DAS OK"
+      | vs -> Printf.sprintf "%d strong-DAS violation(s)" (List.length vs));
+    let attacker = Slpdas_core.Attacker.canonical ~start:sink in
+    let verdict, verify_s =
+      wall (fun () ->
+          Slpdas_core.Verifier.verify g schedule ~attacker
+            ~safety_period:(2 * n)
+            ~source:topo.Slpdas_wsn.Topology.source)
+    in
+    let outcome =
+      match verdict with
+      | Slpdas_core.Verifier.Safe -> "safe"
+      | Slpdas_core.Verifier.Captured { periods; _ } ->
+        Printf.sprintf "captured@%d" periods
+    in
+    Format.printf "attacker run (Algorithm 1, safety 2n): %.4f s; %s@."
+      verify_s outcome;
+    let plan = Slpdas_sim.Shard.plan ~cells_x:cells ~cells_y:cells topo in
+    let (per_cell, merged), shard_s =
+      wall (fun () ->
+          Slpdas_sim.Shard.run ?domains plan
+            ~link:Slpdas_sim.Link_model.Ideal ~seed
+            ~program:(fun ~cell:_ ~self -> scale_wave_program ~self)
+            ~until)
+    in
+    Format.printf
+      "sharded run: %d cells (%d cut edges), %.1f s sim in %.3f s wall; %d \
+       broadcasts, %d deliveries@."
+      (Array.length plan.Slpdas_sim.Shard.cells)
+      plan.Slpdas_sim.Shard.cut_edges until shard_s
+      merged.Slpdas_sim.Event.broadcasts merged.Slpdas_sim.Event.deliveries;
+    match json with
+    | None -> ()
+    | Some path ->
+      (* Deterministic observables only (no timings): the same file must be
+         byte-identical for every --domains value — make scale-smoke diffs
+         exactly this. *)
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"dim\": %d, \"nodes\": %d, \"edges\": %d, \"period_length\": %d, \
+         \"strong_violations\": %d, \"verify_outcome\": %S, \"cells\": %d, \
+         \"cut_edges\": %d, \"sharded\": %s}\n"
+        dim n
+        (Slpdas_wsn.Graph.num_edges g)
+        (Slpdas_core.Das_build.schedule_length schedule)
+        (List.length strong) outcome
+        (Array.length plan.Slpdas_sim.Shard.cells)
+        plan.Slpdas_sim.Shard.cut_edges
+        (Slpdas_sim.Shard.counters_json per_cell merged);
+      close_out oc;
+      Format.printf "scale: wrote %s@." path
+  in
+  let cells_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cells" ] ~docv:"C"
+          ~doc:"Partition the grid into CxC spatial cells for the sharded run.")
+  in
+  let until_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "until" ] ~docv:"SECS"
+          ~doc:"Simulated seconds for the sharded engine run.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's deterministic observables (schedule facts, \
+             verdict, sharded counters; no timings) as JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Large-grid scaling probe: DAS build, attacker verification and a \
+          sharded engine run")
+    Term.(
+      const run $ dim_arg $ seed_arg $ cells_arg $ domains_arg $ until_arg
+      $ json_arg)
+
 let () =
   let info =
     Cmd.info "slp_das_cli" ~version:"1.0.0"
@@ -631,4 +798,5 @@ let () =
             fake_cmd;
             chaos_cmd;
             experiment_cmd;
+            scale_cmd;
           ]))

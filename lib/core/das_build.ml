@@ -35,6 +35,19 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
         | c -> c)
       (List.init n (fun v -> v))
   in
+  (* Pass-invariant per-node rows, computed once: [hop] never changes inside
+     the fixpoint, yet deep grids run hundreds of passes, and rebuilding the
+     shortest-path-parent lists and two-hop neighbourhoods on every visit
+     dominated wall-clock beyond ~10⁵ nodes.  Row contents and order are
+     exactly what the per-visit calls produced. *)
+  let sp_parents =
+    Array.init n (fun v ->
+        Array.of_list (Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v))
+  in
+  let two_hop =
+    Array.init n (fun v ->
+        Array.of_list (Slpdas_wsn.Graph.two_hop_neighbourhood g v))
+  in
   let fuel = ref ((50 * n) + 100) in
   let changed = ref true in
   while !changed do
@@ -52,24 +65,25 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
           | None -> ()
           | Some sv ->
             if strong then begin
-              (* Strong DAS (Def. 2): below every shortest-path parent. *)
-              let bounds =
-                (match parent.(v) with
-                | Some p -> Option.to_list (slot_view schedule ~delta p)
-                | None -> [])
-                @ List.filter_map
-                    (fun m ->
-                      if m = sink then None else Schedule.slot schedule m)
-                    (Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v)
+              (* Strong DAS (Def. 2): below every shortest-path parent.  The
+                 minimum is folded directly — no bounds list — but over the
+                 same values in the same order as before. *)
+              let bound = ref max_int in
+              let consider = function
+                | Some s -> if s < !bound then bound := s
+                | None -> ()
               in
-              match bounds with
-              | [] -> ()
-              | b :: rest ->
-                let bound = List.fold_left min b rest in
-                if sv >= bound then begin
-                  Schedule.assign schedule v (bound - 1);
-                  changed := true
-                end
+              (match parent.(v) with
+              | Some p -> consider (slot_view schedule ~delta p)
+              | None -> ());
+              Array.iter
+                (fun m ->
+                  if m <> sink then consider (Schedule.slot schedule m))
+                sp_parents.(v);
+              if !bound < max_int && sv >= !bound then begin
+                Schedule.assign schedule v (!bound - 1);
+                changed := true
+              end
             end
             else begin
               (* Weak DAS (Def. 3): re-lower only when no neighbour at all
@@ -79,14 +93,14 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
                  would hand the attacker a fresh descent from the decoy
                  end). *)
               let has_forwarder =
-                List.exists
+                Array.exists
                   (fun m ->
                     m = sink
                     ||
                     match Schedule.slot schedule m with
                     | Some ms -> ms > sv
                     | None -> false)
-                  (Slpdas_wsn.Graph.neighbour_list g v)
+                  (Slpdas_wsn.Graph.neighbours g v)
               in
               if not has_forwarder then begin
                 match
@@ -106,7 +120,7 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
       match Schedule.slot schedule v with
       | None -> ()
       | Some sv ->
-        List.iter
+        Array.iter
           (fun m ->
             if m > v && Schedule.slot schedule m = Some sv then begin
               let key u = (hop.(u), node_order_key ~salt u, u) in
@@ -122,7 +136,7 @@ let fixpoint ?(delta = default_delta) ?(salt = 0) ~strong g ~schedule ~parent
                 changed := true
               | None -> ()
             end)
-          (Slpdas_wsn.Graph.two_hop_neighbourhood g v)
+          two_hop.(v)
     done
   done
 
@@ -163,10 +177,15 @@ let build ?rng ?(delta = default_delta) g ~sink =
     index 0 order
   in
   let max_hop = Array.fold_left max 0 hop in
+  (* Hop buckets, built in one descending sweep so each level lists its
+     nodes in ascending id — the order the per-level [List.filter] over
+     [0 .. n-1] produced, without the O(n · depth) rescans. *)
+  let levels = Array.make (max_hop + 1) [] in
+  for v = n - 1 downto 0 do
+    if hop.(v) >= 0 then levels.(hop.(v)) <- v :: levels.(hop.(v))
+  done;
   for d = 1 to max_hop do
-    let level =
-      List.filter (fun v -> hop.(v) = d) (List.init n (fun v -> v))
-    in
+    let level = levels.(d) in
     List.iter
       (fun v ->
         let parents = Slpdas_wsn.Graph.shortest_path_parents g ~dist:hop v in

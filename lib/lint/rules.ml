@@ -75,6 +75,17 @@ let all =
       applies = hot_path;
     };
     {
+      name = "hot-path-hashtbl";
+      summary =
+        "Hashtbl.create in the engine/protocol hot paths (lib/sim, \
+         lib/core/protocol.ml): per-node hashtables were the large-grid \
+         scaling bottleneck the struct-of-arrays layout removed; use \
+         int-indexed flat arrays sized once at create (inline-allow the \
+         few justified setup-time tables)";
+      applies =
+        (fun p -> under "lib/sim" p || String.equal p "lib/core/protocol.ml");
+    };
+    {
       name = "no-print";
       summary =
         "Printf.printf / print_* / Format.printf / Format.std_formatter / \

@@ -14,7 +14,7 @@ type t = {
 val all : t list
 (** Every rule, in reporting order: [random-stdlib], [wall-clock],
     [hashtbl-order], [domain-capture], [poly-compare], [poly-eq],
-    [no-print]. *)
+    [hot-path-hashtbl], [no-print]. *)
 
 val names : string list
 

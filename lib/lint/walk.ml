@@ -92,6 +92,15 @@ let check_ident ctx li loc =
       add ctx "poly-compare" loc
         "polymorphic Hashtbl.hash; hash the packed integer key instead"
   end;
+  if
+    on ctx "hot-path-hashtbl"
+    && String.equal modname "Hashtbl"
+    && String.equal value "create"
+  then
+    add ctx "hot-path-hashtbl" loc
+      "Hashtbl.create on the engine/protocol hot path; per-node state \
+       belongs in int-indexed flat arrays sized once at create \
+       (struct-of-arrays) — inline-allow a justified setup-time table";
   if on ctx "no-print" then begin
     let banned_simple =
       match li with

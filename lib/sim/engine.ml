@@ -4,9 +4,11 @@ type impl = Fast | Reference
 
 (* Per-topology link-decision cache (Fast impl).  Built once at [create];
    collapses a delivery decision to at most one RNG draw and a float
-   compare.  [rx_power] rows are aligned with the graph's adjacency rows and
-   are computed with exactly the float expression [Link_model.delivered]
-   uses, so verdicts are bit-identical to the reference path. *)
+   compare.  [rx_power] is one flat float array in CSR layout ([off] mirrors
+   the adjacency offsets), computed with exactly the float expression
+   [Link_model.delivered] uses, so verdicts are bit-identical to the
+   reference path — and a million-node topology costs one allocation, not
+   one per node. *)
 type link_cache =
   | Always_delivered
   | Never_delivered
@@ -15,7 +17,9 @@ type link_cache =
       noise_mean : float;
       noise_std : float;
       snr_threshold : float;
-      rx_power : float array array;  (* rx_power.(u).(i): u → i-th neighbour *)
+      off : int array;  (* off.(u): base of u's row in [rx_power] *)
+      rx_power : float array;
+          (* rx_power.(off.(u) + i): u → its i-th neighbour *)
     }
 
 type ('s, 'm) event_kind =
@@ -37,19 +41,38 @@ and ('s, 'm) t = {
   impl : impl;
   airtime : float option;
   recent_broadcasts : (float * int) Queue.t;  (* Reference: global log *)
-  audible : (float * int) Queue.t array;
-      (* Fast: audible.(v) = recent transmissions hearable at v (v's own and
-         its neighbours'), so a jam check scans only candidates that could
-         possibly match instead of folding the global log. *)
+  (* Fast + airtime: per-node audible-transmission log — v's own and its
+     neighbours' recent transmissions — so a jam check scans only candidates
+     that could possibly match instead of folding the global log.  Laid out
+     struct-of-arrays: ring buffers with unboxed time/sender rows and flat
+     head/length arrays, so recording a transmission allocates nothing
+     (amortised) instead of a boxed pair plus a Queue block per audible
+     position. *)
+  aud_time : float array array;
+  aud_sender : int array array;
+  aud_head : int array;
+  aud_len : int array;
   rng : Slpdas_util.Rng.t;
   program : self:int -> ('s, 'm) Slpdas_gcn.program;
       (* kept so [revive_node] can boot a fresh instance for a crashed node *)
   instances : ('s, 'm) Slpdas_gcn.Instance.t array;
   queue : ('s, 'm) event Slpdas_util.Heap.t;
   timer_generations : (int * string, int) Hashtbl.t;  (* Reference *)
-  gens : int array array;  (* Fast: gens.(node).(Timer.id) *)
+  (* Fast: timer generations as one flat int array of n × [gen_stride]
+     slots, gens.((node * gen_stride) + Timer.id) — a single allocation
+     sized once at [create] instead of an array per node.  The stride grows
+     (all rows re-laid-out) in the rare case a program mints timer names
+     mid-run. *)
+  mutable gens : int array;
+  mutable gen_stride : int;
   link_cache : link_cache;
   neighbours : int array array;  (* cached adjacency rows *)
+  batch_deliveries : bool;
+      (* Fast: fold each broadcast's arrivals into one batch event.  A win
+         on large networks (fewer heap operations), but on small ones the
+         inflated per-event work loses to the reference's singleton events,
+         so below [default_batch_cutover] nodes the fast impl pushes
+         singletons too — same draws, same order, same observables. *)
   scratch : int array;  (* delivered-recipient staging, max-degree sized *)
   mutable now : float;
   mutable next_seq : int;
@@ -171,26 +194,28 @@ let ref_bump_timer_generation t node timer =
   Hashtbl.replace t.timer_generations (node, Slpdas_gcn.Timer.name timer) g;
   g
 
-(* Fast timer bookkeeping: a per-node array indexed by the interned timer
-   id.  Rows start sized to the intern registry and grow (amortised
-   doubling) when a program mints timer names mid-run. *)
+(* Fast timer bookkeeping: one flat array indexed by (node, interned timer
+   id).  The stride starts sized to the intern registry and grows (amortised
+   doubling, all rows re-laid-out) when a program mints timer names
+   mid-run. *)
 let fast_timer_generation t node id =
-  let row = t.gens.(node) in
-  if id < Array.length row then row.(id) else 0
+  if id < t.gen_stride then t.gens.((node * t.gen_stride) + id) else 0
+
+let grow_gen_stride t want =
+  let n = Array.length t.failed in
+  let stride' = max want ((2 * t.gen_stride) + 1) in
+  let gens' = Array.make (n * stride') 0 in
+  for v = 0 to n - 1 do
+    Array.blit t.gens (v * t.gen_stride) gens' (v * stride') t.gen_stride
+  done;
+  t.gens <- gens';
+  t.gen_stride <- stride'
 
 let fast_bump_timer_generation t node id =
-  let row = t.gens.(node) in
-  let row =
-    if id < Array.length row then row
-    else begin
-      let row' = Array.make (max (id + 1) ((2 * Array.length row) + 1)) 0 in
-      Array.blit row 0 row' 0 (Array.length row);
-      t.gens.(node) <- row';
-      row'
-    end
-  in
-  let g = row.(id) + 1 in
-  row.(id) <- g;
+  if id >= t.gen_stride then grow_gen_stride t (id + 1);
+  let i = (node * t.gen_stride) + id in
+  let g = t.gens.(i) + 1 in
+  t.gens.(i) <- g;
   g
 
 let timer_generation t node timer =
@@ -218,6 +243,36 @@ let prune_queue q ~horizon =
   in
   prune ()
 
+(* Audible-log ring-buffer primitives (Fast + airtime). *)
+let aud_push t v ~time ~sender =
+  let cap = Array.length t.aud_time.(v) in
+  if t.aud_len.(v) = cap then begin
+    (* Grow and unroll the ring to offset 0. *)
+    let cap' = 2 * cap in
+    let ts = Array.make cap' 0.0 and ss = Array.make cap' 0 in
+    let head = t.aud_head.(v) in
+    for i = 0 to cap - 1 do
+      let idx = (head + i) mod cap in
+      ts.(i) <- t.aud_time.(v).(idx);
+      ss.(i) <- t.aud_sender.(v).(idx)
+    done;
+    t.aud_time.(v) <- ts;
+    t.aud_sender.(v) <- ss;
+    t.aud_head.(v) <- 0
+  end;
+  let cap = Array.length t.aud_time.(v) in
+  let idx = (t.aud_head.(v) + t.aud_len.(v)) mod cap in
+  t.aud_time.(v).(idx) <- time;
+  t.aud_sender.(v).(idx) <- sender;
+  t.aud_len.(v) <- t.aud_len.(v) + 1
+
+let aud_prune t v ~horizon =
+  let cap = Array.length t.aud_time.(v) in
+  while t.aud_len.(v) > 0 && t.aud_time.(v).(t.aud_head.(v)) < horizon do
+    t.aud_head.(v) <- (t.aud_head.(v) + 1) mod cap;
+    t.aud_len.(v) <- t.aud_len.(v) - 1
+  done
+
 (* With interference modelling on, remember recent transmissions and prune
    entries that can no longer overlap anything. *)
 let record_broadcast t node =
@@ -232,17 +287,13 @@ let record_broadcast t node =
     | Fast ->
       (* Fan the entry out to every position it is audible at (the sender's
          own — radios are half-duplex — and each neighbour's). *)
-      let q = t.audible.(node) in
-      Queue.add (t.now, node) q;
-      prune_queue q ~horizon;
+      aud_push t node ~time:t.now ~sender:node;
+      aud_prune t node ~horizon;
       Array.iter
         (fun v ->
-          let q = t.audible.(v) in
-          Queue.add (t.now, node) q;
-          prune_queue q ~horizon)
+          aud_push t v ~time:t.now ~sender:node;
+          aud_prune t v ~horizon)
         t.neighbours.(node))
-
-exception Jam
 
 (* A reception at [node] of a transmission sent at [tx_time] is jammed when
    any other audible transmission overlaps it (half-duplex: the receiver's
@@ -265,15 +316,19 @@ let jammed t ~node ~sender ~tx_time =
              && abs_float (time -. tx_time) < airtime
              && (other = node || Slpdas_wsn.Graph.mem_edge graph node other)))
         false t.recent_broadcasts
-    | Fast -> (
-      try
-        Queue.iter
-          (fun (time, other) ->
-            if other <> sender && abs_float (time -. tx_time) < airtime then
-              raise Jam)
-          t.audible.(node);
-        false
-      with Jam -> true))
+    | Fast ->
+      let times = t.aud_time.(node) and senders = t.aud_sender.(node) in
+      let cap = Array.length times in
+      let head = t.aud_head.(node) and len = t.aud_len.(node) in
+      let rec scan i =
+        i < len
+        &&
+        let idx = (head + i) mod cap in
+        (senders.(idx) <> sender
+        && abs_float (times.(idx) -. tx_time) < airtime)
+        || scan (i + 1)
+      in
+      scan 0)
 
 let rec apply_effects t node effects =
   List.iter
@@ -311,9 +366,12 @@ let rec apply_effects t node effects =
           (* RNG draws happen here, eagerly, in adjacency order — exactly
              the reference draw sequence — and drops are counted at
              broadcast time like the reference path.  Only the delivery
-             *arrivals* are deferred, as one batch event. *)
+             *arrivals* are deferred; above the batch cutover as one batch
+             event, below it as singleton events pushed in the reference's
+             own order (so small runs skip the batch-expansion overhead). *)
           let nbrs = t.neighbours.(node) in
           let deg = Array.length nbrs in
+          let batch = t.batch_deliveries in
           let scratch = t.scratch in
           let count = ref 0 in
           let drop v =
@@ -328,13 +386,17 @@ let rec apply_effects t node effects =
              adjacency order). *)
           let keep v =
             if faults && fault_dropped t node v then drop v
-            else begin
+            else if batch then begin
               Array.unsafe_set scratch !count v;
               incr count
             end
+            else
+              push t
+                ~at:(t.now +. propagation_delay)
+                (Deliver { node = v; sender = node; msg })
           in
           (match t.link_cache with
-          | Always_delivered when not faults ->
+          | Always_delivered when not faults && batch ->
             Array.blit nbrs 0 scratch 0 deg;
             count := deg
           | Always_delivered -> Array.iter keep nbrs
@@ -345,17 +407,19 @@ let rec apply_effects t node effects =
               if not (Slpdas_util.Rng.bernoulli t.rng p) then keep v
               else drop v
             done
-          | Gaussian_rx { noise_mean; noise_std; snr_threshold; rx_power } ->
-            let row = rx_power.(node) in
+          | Gaussian_rx { noise_mean; noise_std; snr_threshold; off; rx_power }
+            ->
+            let base = Array.unsafe_get off node in
             for i = 0 to deg - 1 do
               let v = Array.unsafe_get nbrs i in
               let noise =
                 Slpdas_util.Rng.gaussian t.rng ~mean:noise_mean ~std:noise_std
               in
-              if Array.unsafe_get row i -. noise >= snr_threshold then keep v
+              if Array.unsafe_get rx_power (base + i) -. noise >= snr_threshold
+              then keep v
               else drop v
             done);
-          if !count > 0 then
+          if batch && !count > 0 then
             push t
               ~at:(t.now +. propagation_delay)
               (Deliver_batch
@@ -389,9 +453,9 @@ let fail_node t v =
        staleness verdict. *)
     (match t.impl with
     | Fast ->
-      let row = t.gens.(v) in
-      for i = 0 to Array.length row - 1 do
-        row.(i) <- row.(i) + 1
+      let base = v * t.gen_stride in
+      for i = base to base + t.gen_stride - 1 do
+        t.gens.(i) <- t.gens.(i) + 1
       done
     | Reference ->
       Hashtbl.filter_map_inplace
@@ -428,31 +492,44 @@ let build_link_cache ~impl ~topology ~link ~neighbours =
     | Link_model.Snr { noise_mean_dbm; noise_std_dbm; snr_threshold_db; rx_power_dbm }
       ->
       let positions = topology.Slpdas_wsn.Topology.positions in
-      let rx_power =
-        Array.mapi
-          (fun u row ->
-            let x1, y1 = positions.(u) in
-            Array.map
-              (fun v ->
-                (* Evaluated once per directed edge instead of once per
-                   reception; the distance expression matches [distance]. *)
-                let x2, y2 = positions.(v) in
-                let distance_m =
-                  sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
-                in
-                rx_power_dbm ~distance_m)
-              row)
-          neighbours
-      in
+      let n = Array.length neighbours in
+      let off = Array.make (n + 1) 0 in
+      for u = 0 to n - 1 do
+        off.(u + 1) <- off.(u) + Array.length neighbours.(u)
+      done;
+      let rx_power = Array.make off.(n) 0.0 in
+      Array.iteri
+        (fun u row ->
+          let x1, y1 = positions.(u) in
+          let base = off.(u) in
+          Array.iteri
+            (fun i v ->
+              (* Evaluated once per directed edge instead of once per
+                 reception; the distance expression matches [distance]. *)
+              let x2, y2 = positions.(v) in
+              let distance_m =
+                sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+              in
+              rx_power.(base + i) <- rx_power_dbm ~distance_m)
+            row)
+        neighbours;
       Gaussian_rx
         {
           noise_mean = noise_mean_dbm;
           noise_std = noise_std_dbm;
           snr_threshold = snr_threshold_db;
+          off;
           rx_power;
         })
 
-let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
+(* Below this node count the fast impl pushes singleton delivery events
+   (reference order); above it, one batch event per broadcast.  Chosen so
+   the paper-scale grids (11x11 … 21x21) take the lighter small-run path
+   while anything approaching the ROADMAP's large deployments batches. *)
+let default_batch_cutover = 1024
+
+let create ?(impl = Fast) ?(batch_cutover = default_batch_cutover) ?airtime
+    ~topology ~link ~rng ~program () =
   let graph = topology.Slpdas_wsn.Topology.graph in
   let n = Slpdas_wsn.Graph.n graph in
   let queue = Slpdas_util.Heap.create ~cmp:compare_events in
@@ -464,6 +541,9 @@ let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
     Array.fold_left (fun acc row -> max acc (Array.length row)) 0 neighbours
   in
   let timer_slots = max 1 (Slpdas_gcn.Timer.count ()) in
+  let fast_airtime =
+    match (impl, airtime) with Fast, Some _ -> true | _ -> false
+  in
   let t =
     {
       topology;
@@ -471,22 +551,29 @@ let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
       impl;
       airtime;
       recent_broadcasts = Queue.create ();
-      audible =
-        (match (impl, airtime) with
-        | Fast, Some _ -> Array.init n (fun _ -> Queue.create ())
-        | _ -> [||]);
+      aud_time =
+        (if fast_airtime then Array.init n (fun _ -> Array.make 8 0.0)
+         else [||]);
+      aud_sender =
+        (if fast_airtime then Array.init n (fun _ -> Array.make 8 0) else [||]);
+      aud_head = (if fast_airtime then Array.make n 0 else [||]);
+      aud_len = (if fast_airtime then Array.make n 0 else [||]);
       rng;
       program;
       instances = Array.map fst boot;
       queue;
       timer_generations =
+        (* Reference-oracle bookkeeping only; Fast uses the flat gens rows.
+           (* slp-lint: allow hot-path-hashtbl *) *)
         Hashtbl.create (match impl with Reference -> 4 * n | Fast -> 1);
       gens =
         (match impl with
-        | Fast -> Array.init n (fun _ -> Array.make timer_slots 0)
+        | Fast -> Array.make (n * timer_slots) 0
         | Reference -> [||]);
+      gen_stride = (match impl with Fast -> timer_slots | Reference -> 0);
       link_cache = build_link_cache ~impl ~topology ~link ~neighbours;
       neighbours;
+      batch_deliveries = (match impl with Fast -> n > batch_cutover | Reference -> false);
       scratch = Array.make max_degree 0;
       now = 0.0;
       next_seq = 0;
@@ -495,7 +582,10 @@ let create ?(impl = Fast) ?airtime ~topology ~link ~rng ~program () =
       broadcast_by_node = Array.make n 0;
       halted = false;
       failed = Array.make n false;
-      link_overrides = Hashtbl.create 8;
+      link_overrides =
+        (* Sparse fault-layer table, consulted only while overrides are
+           active.  (* slp-lint: allow hot-path-hashtbl *) *)
+        Hashtbl.create 8;
       global_loss = 0.0;
     }
   in

@@ -32,8 +32,17 @@ type ('s, 'm) t
     exists as that oracle and as the benchmark baseline. *)
 type impl = Fast | Reference
 
+val default_batch_cutover : int
+(** Node count above which the [Fast] impl folds each broadcast's arrivals
+    into one batch event; at or below it, singleton delivery events are
+    pushed in the [Reference] impl's own order, so small (paper-scale) runs
+    skip the batch bookkeeping that only pays off on large networks.  The
+    two regimes are observably identical — the cutover trades constant
+    factors only. *)
+
 val create :
   ?impl:impl ->
+  ?batch_cutover:int ->
   ?airtime:float ->
   topology:Slpdas_wsn.Topology.t ->
   link:Link_model.t ->
@@ -45,6 +54,11 @@ val create :
     node [v] at time 0 and queues their boot effects.  [rng] drives link-loss
     sampling only; protocol-level randomness belongs in the programs
     themselves.
+
+    [batch_cutover] (default {!default_batch_cutover}) selects the [Fast]
+    impl's delivery regime by node count; tests pass [~batch_cutover:0] to
+    force batching on small topologies so the differential oracle covers
+    both regimes.
 
     [airtime] enables destructive-interference modelling: each transmission
     occupies the channel for [airtime] seconds, and a reception at [v] is

@@ -1,0 +1,195 @@
+module Graph = Slpdas_wsn.Graph
+module Topology = Slpdas_wsn.Topology
+
+type cell = { id : int; nodes : int array; topology : Topology.t }
+
+type plan = {
+  base : Topology.t;
+  cells_x : int;
+  cells_y : int;
+  cells : cell array;
+  cut_edges : int;
+}
+
+let plan ~cells_x ~cells_y (base : Topology.t) =
+  if cells_x < 1 || cells_y < 1 then
+    invalid_arg "Shard.plan: cell grid must be at least 1x1";
+  let g = base.Topology.graph in
+  let n = Graph.n g in
+  let positions = base.Topology.positions in
+  (* Bounding box of the deployment; a degenerate axis puts everything in
+     cell 0 of that axis. *)
+  let min_x = ref infinity and max_x = ref neg_infinity in
+  let min_y = ref infinity and max_y = ref neg_infinity in
+  Array.iter
+    (fun (x, y) ->
+      if x < !min_x then min_x := x;
+      if x > !max_x then max_x := x;
+      if y < !min_y then min_y := y;
+      if y > !max_y then max_y := y)
+    positions;
+  let axis ~cells ~lo ~hi coord =
+    let span = hi -. lo in
+    if span <= 0.0 then 0
+    else
+      min (cells - 1)
+        (int_of_float (float_of_int cells *. ((coord -. lo) /. span)))
+  in
+  let cell_of_node = Array.make (max n 1) 0 in
+  for v = 0 to n - 1 do
+    let x, y = positions.(v) in
+    let cx = axis ~cells:cells_x ~lo:!min_x ~hi:!max_x x in
+    let cy = axis ~cells:cells_y ~lo:!min_y ~hi:!max_y y in
+    cell_of_node.(v) <- (cy * cells_x) + cx
+  done;
+  let num_cells = cells_x * cells_y in
+  (* Member lists per cell, ascending global id (one ascending sweep). *)
+  let counts = Array.make num_cells 0 in
+  for v = 0 to n - 1 do
+    counts.(cell_of_node.(v)) <- counts.(cell_of_node.(v)) + 1
+  done;
+  let members = Array.init num_cells (fun c -> Array.make counts.(c) 0) in
+  let fill = Array.make num_cells 0 in
+  for v = 0 to n - 1 do
+    let c = cell_of_node.(v) in
+    members.(c).(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  (* Global -> local index within its own cell.  Ascending fill order makes
+     the mapping monotone per cell, so filtered adjacency rows stay
+     sorted. *)
+  let local_of = Array.make (max n 1) 0 in
+  Array.iter
+    (fun nodes -> Array.iteri (fun i v -> local_of.(v) <- i) nodes)
+    members;
+  let cut_edges = ref 0 in
+  let build_cell next_id nodes =
+    let cn = Array.length nodes in
+    let offsets = Array.make (cn + 1) 0 in
+    Array.iteri
+      (fun i v ->
+        let deg = ref 0 in
+        Array.iter
+          (fun w ->
+            if cell_of_node.(w) = cell_of_node.(v) then incr deg
+            else incr cut_edges)
+          (Graph.neighbours g v);
+        offsets.(i + 1) <- offsets.(i) + !deg)
+      nodes;
+    let targets = Array.make offsets.(cn) 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun w ->
+            if cell_of_node.(w) = cell_of_node.(v) then begin
+              targets.(!pos) <- local_of.(w);
+              incr pos
+            end)
+          (Graph.neighbours g v))
+      nodes;
+    let graph = Graph.of_csr ~n:cn ~offsets ~targets in
+    let cell_positions = Array.map (fun v -> positions.(v)) nodes in
+    (* Source/sink of the sub-deployment: keep the base's when it lives
+       here; otherwise first node as source, centroid-closest as sink. *)
+    let local_of_global v = local_of.(v) in
+    let source =
+      if
+        base.Topology.source < n
+        && cell_of_node.(base.Topology.source) = cell_of_node.(nodes.(0))
+      then local_of_global base.Topology.source
+      else 0
+    in
+    let sink =
+      if
+        base.Topology.sink < n
+        && cell_of_node.(base.Topology.sink) = cell_of_node.(nodes.(0))
+      then local_of_global base.Topology.sink
+      else begin
+        let cx = ref 0.0 and cy = ref 0.0 in
+        Array.iter
+          (fun (x, y) ->
+            cx := !cx +. x;
+            cy := !cy +. y)
+          cell_positions;
+        let cn_f = float_of_int cn in
+        let cx = !cx /. cn_f and cy = !cy /. cn_f in
+        let best = ref 0 and best_d = ref infinity in
+        Array.iteri
+          (fun i (x, y) ->
+            let d = ((x -. cx) ** 2.0) +. ((y -. cy) ** 2.0) in
+            if d < !best_d then begin
+              best := i;
+              best_d := d
+            end)
+          cell_positions;
+        !best
+      end
+    in
+    {
+      id = next_id;
+      nodes;
+      topology =
+        {
+          Topology.name = Printf.sprintf "%s/cell-%d" base.Topology.name next_id;
+          graph;
+          positions = cell_positions;
+          source;
+          sink;
+        };
+    }
+  in
+  let cells = ref [] in
+  let next_id = ref 0 in
+  for c = 0 to num_cells - 1 do
+    if counts.(c) > 0 then begin
+      cells := build_cell !next_id members.(c) :: !cells;
+      incr next_id
+    end
+  done;
+  (* Each cut link was seen from both endpoints. *)
+  {
+    base;
+    cells_x;
+    cells_y;
+    cells = Array.of_list (List.rev !cells);
+    cut_edges = !cut_edges / 2;
+  }
+
+let run ?domains ?(impl = Engine.Fast) ?batch_cutover ?airtime plan ~link ~seed
+    ~program ~until =
+  (* Per-cell RNG streams are split off in cell order, before any fan-out,
+     so they do not depend on the pool size or on scheduling. *)
+  let master = Slpdas_util.Rng.create seed in
+  let jobs =
+    Array.to_list
+      (Array.map (fun cell -> (cell, Slpdas_util.Rng.split master)) plan.cells)
+  in
+  let per_cell =
+    Slpdas_util.Pool.with_pool ?domains (fun pool ->
+        Slpdas_util.Pool.map pool
+          (fun (cell, rng) ->
+            let e =
+              Engine.create ~impl ?batch_cutover ?airtime
+                ~topology:cell.topology ~link ~rng
+                ~program:(fun ~self -> program ~cell ~self)
+                ()
+            in
+            Engine.run_until e until;
+            Engine.counters e)
+          jobs)
+  in
+  (Array.of_list per_cell, Event.merge_all per_cell)
+
+let counters_json per_cell merged =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"merged\": ";
+  Buffer.add_string buf (Event.to_json merged);
+  Buffer.add_string buf ", \"cells\": [";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Event.to_json c))
+    per_cell;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

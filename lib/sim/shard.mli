@@ -1,0 +1,67 @@
+(** Spatial sharding: run independent regions of a deployment in parallel.
+
+    A {!plan} partitions a topology's nodes into a [cells_x × cells_y] grid
+    of spatial cells by node position and materialises each cell as an
+    induced sub-deployment (local dense ids, intra-cell radio links).  Radio
+    links crossing a cell border are {e cut} — cells are radio-isolated by
+    construction — so a sharded run models independent regions, each hosted
+    by its own engine, fanned out over the domain pool.
+
+    Determinism contract: cells are enumerated in a fixed (row-major) order,
+    each cell's RNG is split off the master seed {e before} any work is
+    fanned out, and [Pool.map] is order-preserving — so every observable
+    (per-cell counters, their input-order merge, any JSON rendering) is
+    byte-identical whatever the domain count.  Additionally, a single-cell
+    plan is {e exactly} an unsharded engine run: same node numbering, same
+    graph, same RNG stream — the engine-equivalence suite uses this to keep
+    sharded runs under the Fast/Reference differential oracle, and uses
+    cell-disjoint topologies to oracle the multi-cell merge. *)
+
+type cell = {
+  id : int;  (** index into {!plan.cells}; row-major over the cell grid *)
+  nodes : int array;  (** member nodes as {e global} ids, ascending *)
+  topology : Slpdas_wsn.Topology.t;
+      (** induced sub-deployment over local ids [0 .. Array.length nodes - 1];
+          local id [i] is global node [nodes.(i)] *)
+}
+
+type plan = {
+  base : Slpdas_wsn.Topology.t;
+  cells_x : int;
+  cells_y : int;
+  cells : cell array;  (** row-major; empty cells are dropped *)
+  cut_edges : int;  (** radio links crossing a cell border, dropped *)
+}
+
+val plan : cells_x:int -> cells_y:int -> Slpdas_wsn.Topology.t -> plan
+(** [plan ~cells_x ~cells_y topology] bins nodes into [cells_x × cells_y]
+    equal spatial cells over the bounding box of the node positions and
+    builds each cell's induced sub-topology via the CSR bulk path (O(n + m)
+    total).  Within a cell, nodes keep their relative (ascending global id)
+    order, so local adjacency stays sorted.  A cell containing the base
+    source/sink keeps it; otherwise the cell's source is its first node and
+    its sink the node closest to the cell's centroid (ties to the lower id).
+    @raise Invalid_argument if [cells_x < 1] or [cells_y < 1]. *)
+
+val run :
+  ?domains:int ->
+  ?impl:Engine.impl ->
+  ?batch_cutover:int ->
+  ?airtime:float ->
+  plan ->
+  link:Link_model.t ->
+  seed:int ->
+  program:(cell:cell -> self:int -> ('s, 'm) Slpdas_gcn.program) ->
+  until:float ->
+  Event.counters array * Event.counters
+(** [run plan ~link ~seed ~program ~until] creates one engine per cell
+    ([program ~cell ~self] with {e local} [self]), runs each to [until] on
+    the domain pool, and returns the per-cell counters (cell order) plus
+    their input-order merge.  Per-cell RNGs are split off [Rng.create seed]
+    in cell order before fan-out, so results are independent of [domains].
+    [domains] defaults to the pool's recommended size. *)
+
+val counters_json : Event.counters array -> Event.counters -> string
+(** Canonical JSON rendering of a sharded run's observables — the merged
+    counters plus each cell's — used by [make scale-smoke] to byte-compare
+    multi-domain against single-domain runs. *)

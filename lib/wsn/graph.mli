@@ -11,7 +11,24 @@ type t
 val create : n:int -> (int * int) list -> t
 (** [create ~n edges] builds a graph on vertices [0 .. n-1].  Self-loops are
     rejected; duplicate and reversed duplicates of an edge are collapsed.
+    Convenient for tests and small ad-hoc graphs; generators producing large
+    topologies should use {!of_csr}, which skips the edge list and the
+    per-vertex set construction entirely.
     @raise Invalid_argument on a vertex out of range or a self-loop. *)
+
+val of_csr : n:int -> offsets:int array -> targets:int array -> t
+(** [of_csr ~n ~offsets ~targets] is the O(n + m) bulk-build path: adjacency
+    handed over in compressed sparse row form, the adjacency row of vertex
+    [u] being [targets.(offsets.(u)) .. targets.(offsets.(u + 1) - 1)].
+    [offsets] must have length [n + 1] with [offsets.(0) = 0] and
+    [offsets.(n) = Array.length targets]; every row must be strictly
+    increasing (sorted, duplicate-free), self-loop free, and symmetric
+    ([v] appears in [u]'s row iff [u] appears in [v]'s).  The result is
+    indistinguishable from [create] on the same edge set — same sorted
+    adjacency, same iteration order — without materialising an
+    [(int * int) list]: a 1000x1000 grid (10⁶ vertices, ~2·10⁶ edges)
+    constructs in well under a second.
+    @raise Invalid_argument on malformed input. *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -57,11 +74,20 @@ val connected_components : t -> int list list
 
 val diameter : t -> int
 (** Longest shortest path over all pairs; [-1] for a disconnected graph.
-    O(n·(n+m)). *)
+
+    {b Cost warning}: this is an all-pairs BFS — O(n·(n+m)) time — which is
+    minutes-to-hours on graphs beyond a few tens of thousands of vertices
+    (a 1000x1000 grid would run ~10⁶ BFS passes of ~3·10⁶ steps each).
+    Callers reporting topology statistics must gate it on the vertex count;
+    the bench and the CLI skip diameter reporting above their thresholds
+    rather than call this accidentally. *)
 
 val two_hop_neighbourhood : t -> int -> int list
 (** [two_hop_neighbourhood g u] is the set [CG(u)] of the paper (Def. 1): all
-    vertices at hop distance 1 or 2 from [u], excluding [u], sorted. *)
+    vertices at hop distance 1 or 2 from [u], excluding [u], sorted.
+    O(d² log d) in the degree [d] — independent of [n], so all-vertices
+    sweeps (DAS fixpoints, collision checks) stay linear in the network
+    size. *)
 
 val shortest_path_parents : t -> dist:int array -> int -> int list
 (** [shortest_path_parents g ~dist u] lists the neighbours of [u] that lie on

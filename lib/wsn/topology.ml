@@ -8,6 +8,41 @@ type t = {
 
 let grid_coords ~dim v = (v / dim, v mod dim)
 
+(* Bulk-build a graph from a directed-arc enumerator in O(n + m): one pass
+   counts degrees, one pass fills the CSR targets, then each (constant-size)
+   row is insertion-sorted so the result matches [Graph.create]'s
+   sorted-adjacency contract exactly.  [each emit] must call [emit u v] once
+   per directed arc (i.e. twice per undirected edge). *)
+let graph_of_arcs ~n each =
+  let offsets = Array.make (n + 1) 0 in
+  each (fun u _v -> offsets.(u + 1) <- offsets.(u + 1) + 1);
+  for u = 1 to n do
+    offsets.(u) <- offsets.(u) + offsets.(u - 1)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let fill = Array.copy offsets in
+  each (fun u v ->
+      targets.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1);
+  for u = 0 to n - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    for i = lo + 1 to hi - 1 do
+      let x = targets.(i) in
+      let j = ref i in
+      while !j > lo && targets.(!j - 1) > x do
+        targets.(!j) <- targets.(!j - 1);
+        decr j
+      done;
+      targets.(!j) <- x
+    done
+  done;
+  Graph.of_csr ~n ~offsets ~targets
+
+let grid_positions ~dim ~spacing n =
+  Array.init n (fun v ->
+      let r, c = grid_coords ~dim v in
+      (float_of_int c *. spacing, float_of_int r *. spacing))
+
 let grid_node ~dim ~row ~col =
   if row < 0 || row >= dim || col < 0 || col >= dim then
     invalid_arg "Topology.grid_node: outside the grid";
@@ -16,20 +51,21 @@ let grid_node ~dim ~row ~col =
 let grid ?(spacing = 4.5) dim =
   if dim < 2 then invalid_arg "Topology.grid: dim must be >= 2";
   let n = dim * dim in
-  let edges = ref [] in
-  for r = 0 to dim - 1 do
-    for c = 0 to dim - 1 do
-      let v = grid_node ~dim ~row:r ~col:c in
-      if c + 1 < dim then edges := (v, grid_node ~dim ~row:r ~col:(c + 1)) :: !edges;
-      if r + 1 < dim then edges := (v, grid_node ~dim ~row:(r + 1) ~col:c) :: !edges
-    done
-  done;
-  let graph = Graph.create ~n !edges in
-  let positions =
-    Array.init n (fun v ->
-        let r, c = grid_coords ~dim v in
-        (float_of_int c *. spacing, float_of_int r *. spacing))
+  (* Arcs emitted per node in ascending target order (up, left, right,
+     down), so rows land pre-sorted. *)
+  let graph =
+    graph_of_arcs ~n (fun emit ->
+        for r = 0 to dim - 1 do
+          for c = 0 to dim - 1 do
+            let v = (r * dim) + c in
+            if r > 0 then emit v (v - dim);
+            if c > 0 then emit v (v - 1);
+            if c + 1 < dim then emit v (v + 1);
+            if r + 1 < dim then emit v (v + dim)
+          done
+        done)
   in
+  let positions = grid_positions ~dim ~spacing n in
   let centre = (dim - 1) / 2 in
   {
     name = Printf.sprintf "grid-%dx%d" dim dim;
@@ -42,39 +78,43 @@ let grid ?(spacing = 4.5) dim =
 let grid8 ?(spacing = 4.5) dim =
   if dim < 2 then invalid_arg "Topology.grid8: dim must be >= 2";
   let base = grid ~spacing dim in
-  let extra = ref [] in
-  for r = 0 to dim - 2 do
-    for c = 0 to dim - 1 do
-      let v = grid_node ~dim ~row:r ~col:c in
-      if c + 1 < dim then
-        extra := (v, grid_node ~dim ~row:(r + 1) ~col:(c + 1)) :: !extra;
-      if c > 0 then
-        extra := (v, grid_node ~dim ~row:(r + 1) ~col:(c - 1)) :: !extra
-    done
-  done;
-  {
-    base with
-    name = Printf.sprintf "grid8-%dx%d" dim dim;
-    graph = Graph.create ~n:(dim * dim) (Graph.edges base.graph @ !extra);
-  }
+  let n = dim * dim in
+  let graph =
+    graph_of_arcs ~n (fun emit ->
+        for r = 0 to dim - 1 do
+          for c = 0 to dim - 1 do
+            let v = (r * dim) + c in
+            if r > 0 && c > 0 then emit v (v - dim - 1);
+            if r > 0 then emit v (v - dim);
+            if r > 0 && c + 1 < dim then emit v (v - dim + 1);
+            if c > 0 then emit v (v - 1);
+            if c + 1 < dim then emit v (v + 1);
+            if r + 1 < dim && c > 0 then emit v (v + dim - 1);
+            if r + 1 < dim then emit v (v + dim);
+            if r + 1 < dim && c + 1 < dim then emit v (v + dim + 1)
+          done
+        done)
+  in
+  { base with name = Printf.sprintf "grid8-%dx%d" dim dim; graph }
 
 let torus ?(spacing = 4.5) dim =
   if dim < 3 then invalid_arg "Topology.torus: dim must be >= 3";
   let n = dim * dim in
-  let edges = ref [] in
-  for r = 0 to dim - 1 do
-    for c = 0 to dim - 1 do
-      let v = grid_node ~dim ~row:r ~col:c in
-      edges := (v, grid_node ~dim ~row:r ~col:((c + 1) mod dim)) :: !edges;
-      edges := (v, grid_node ~dim ~row:((r + 1) mod dim) ~col:c) :: !edges
-    done
-  done;
-  let graph = Graph.create ~n !edges in
-  let positions =
-    Array.init n (fun v ->
-        let r, c = grid_coords ~dim v in
-        (float_of_int c *. spacing, float_of_int r *. spacing))
+  (* Wrap-around targets are not monotone in emission order; the CSR helper
+     sorts each (4-element) row afterwards. *)
+  let graph =
+    graph_of_arcs ~n (fun emit ->
+        for r = 0 to dim - 1 do
+          for c = 0 to dim - 1 do
+            let v = (r * dim) + c in
+            emit v ((((r + dim - 1) mod dim) * dim) + c);
+            emit v ((((r + 1) mod dim) * dim) + c);
+            emit v ((r * dim) + ((c + dim - 1) mod dim));
+            emit v ((r * dim) + ((c + 1) mod dim))
+          done
+        done)
   in
+  let positions = grid_positions ~dim ~spacing n in
   let centre = dim / 2 in
   {
     name = Printf.sprintf "torus-%dx%d" dim dim;
@@ -86,10 +126,16 @@ let torus ?(spacing = 4.5) dim =
 
 let line ?(spacing = 4.5) n =
   if n < 2 then invalid_arg "Topology.line: n must be >= 2";
-  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let graph =
+    graph_of_arcs ~n (fun emit ->
+        for i = 0 to n - 1 do
+          if i > 0 then emit i (i - 1);
+          if i + 1 < n then emit i (i + 1)
+        done)
+  in
   {
     name = Printf.sprintf "line-%d" n;
-    graph = Graph.create ~n edges;
+    graph;
     positions = Array.init n (fun i -> (float_of_int i *. spacing, 0.0));
     source = 0;
     sink = n - 1;
@@ -97,7 +143,13 @@ let line ?(spacing = 4.5) n =
 
 let ring ?(spacing = 4.5) n =
   if n < 3 then invalid_arg "Topology.ring: n must be >= 3";
-  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let graph =
+    graph_of_arcs ~n (fun emit ->
+        for i = 0 to n - 1 do
+          emit i ((i + n - 1) mod n);
+          emit i ((i + 1) mod n)
+        done)
+  in
   let radius = spacing *. float_of_int n /. (2.0 *. Float.pi) in
   let positions =
     Array.init n (fun i ->
@@ -106,7 +158,7 @@ let ring ?(spacing = 4.5) n =
   in
   {
     name = Printf.sprintf "ring-%d" n;
-    graph = Graph.create ~n edges;
+    graph;
     positions;
     source = 0;
     sink = n / 2;

@@ -11,6 +11,7 @@ module Gcn = Slpdas_gcn
 module Engine = Slpdas_sim.Engine
 module Event = Slpdas_sim.Event
 module Link_model = Slpdas_sim.Link_model
+module Shard = Slpdas_sim.Shard
 module Protocol = Slpdas_core.Protocol
 module Scenario = Slpdas_exp.Scenario
 module Harness = Slpdas_exp.Harness
@@ -160,13 +161,15 @@ let test_fake_family () =
 
 let go_timer = Gcn.Timer.intern "equiv-go"
 
-(* Repeating flooder: node 0 re-floods every second; nodes forward each
-   wave once (state: latest wave heard and who delivered it).  It is
-   broadcast-heavy, so lossy and SNR links draw plenty of randomness. *)
-let wave_program ~self =
+(* Repeating flooder: flooding nodes re-flood every second; nodes forward
+   each wave once (state: latest wave heard and who delivered it).  It is
+   broadcast-heavy, so lossy and SNR links draw plenty of randomness.
+   [flood] selects the flooders (node 0 by default); the shard tests use it
+   to flood from each component's local origin. *)
+let wave_program_if ~flood ~self =
   let init ~self =
     ( (0, -1),
-      if self = 0 then [ Gcn.Set_timer { timer = go_timer; after = 1.0 } ]
+      if flood self then [ Gcn.Set_timer { timer = go_timer; after = 1.0 } ]
       else [] )
   in
   let go =
@@ -199,11 +202,13 @@ let wave_program ~self =
   ignore self;
   { Gcn.init; actions = [ go; forward ]; spontaneous = [] }
 
-let run_wave ~impl ?airtime link =
+let wave_program ~self = wave_program_if ~flood:(fun v -> v = 0) ~self
+
+let run_wave ~impl ?batch_cutover ?airtime link =
   let topology = Topology.grid 6 in
   let e =
-    Engine.create ~impl ?airtime ~topology ~link ~rng:(Rng.create 42)
-      ~program:wave_program ()
+    Engine.create ~impl ?batch_cutover ?airtime ~topology ~link
+      ~rng:(Rng.create 42) ~program:wave_program ()
   in
   Engine.run_until e 8.0;
   e
@@ -228,7 +233,13 @@ let test_engine_states () =
     (fun (name, link) ->
       check_engines name
         (run_wave ~impl:Engine.Reference link)
-        (run_wave ~impl:Engine.Fast link))
+        (run_wave ~impl:Engine.Fast link);
+      (* Grid 6 sits below the batch cutover, so the default Fast run above
+         exercises the singleton regime; forcing the cutover to 0 keeps the
+         batch-expansion path under the same oracle. *)
+      check_engines (name ^ "+batch")
+        (run_wave ~impl:Engine.Reference link)
+        (run_wave ~impl:Engine.Fast ~batch_cutover:0 link))
     links
 
 let test_engine_states_airtime () =
@@ -236,7 +247,10 @@ let test_engine_states_airtime () =
     (fun (name, link) ->
       check_engines (name ^ "+airtime")
         (run_wave ~impl:Engine.Reference ~airtime:0.003 link)
-        (run_wave ~impl:Engine.Fast ~airtime:0.003 link))
+        (run_wave ~impl:Engine.Fast ~airtime:0.003 link);
+      check_engines (name ^ "+airtime+batch")
+        (run_wave ~impl:Engine.Reference ~airtime:0.003 link)
+        (run_wave ~impl:Engine.Fast ~batch_cutover:0 ~airtime:0.003 link))
     links
 
 (* Fault layer: mid-run crash-stops, a revival, link overrides and a loss
@@ -244,10 +258,10 @@ let test_engine_states_airtime () =
    every observable — including the typed failure/revival/link-change
    counters and the fault-layer's extra randomness draws, which are made
    per neighbour in adjacency order in both engines. *)
-let run_wave_faulted ~impl link =
+let run_wave_faulted ~impl ?batch_cutover link =
   let topology = Topology.grid 6 in
   let e =
-    Engine.create ~impl ~topology ~link ~rng:(Rng.create 42)
+    Engine.create ~impl ?batch_cutover ~topology ~link ~rng:(Rng.create 42)
       ~program:wave_program ()
   in
   Engine.schedule e ~at:2.5 (fun e -> Engine.fail_node e 7);
@@ -265,7 +279,10 @@ let test_fault_equivalence () =
     (fun (name, link) ->
       check_engines (name ^ "+faults")
         (run_wave_faulted ~impl:Engine.Reference link)
-        (run_wave_faulted ~impl:Engine.Fast link))
+        (run_wave_faulted ~impl:Engine.Fast link);
+      check_engines (name ^ "+faults+batch")
+        (run_wave_faulted ~impl:Engine.Reference link)
+        (run_wave_faulted ~impl:Engine.Fast ~batch_cutover:0 link))
     links
 
 (* The full DAS protocol with crash-stops and a revival during the setup
@@ -294,10 +311,10 @@ let test_das_with_crashes () =
    Both implementations must stop with the same observable state — the
    fast engine re-checks the halt flag between batched recipients. *)
 let test_stop_equivalence () =
-  let run impl =
+  let run ?batch_cutover impl =
     let topology = Topology.grid 6 in
     let e =
-      Engine.create ~impl ~topology ~link:(Link_model.Lossy 0.2)
+      Engine.create ~impl ?batch_cutover ~topology ~link:(Link_model.Lossy 0.2)
         ~rng:(Rng.create 9) ~program:wave_program ()
     in
     let seen = ref 0 in
@@ -310,7 +327,121 @@ let test_stop_equivalence () =
     Engine.run_until e 100.0;
     e
   in
-  check_engines "stop@40" (run Engine.Reference) (run Engine.Fast)
+  check_engines "stop@40" (run Engine.Reference) (run Engine.Fast);
+  check_engines "stop@40+batch" (run Engine.Reference)
+    (run ~batch_cutover:0 Engine.Fast)
+
+(* ------------------------------------------------------------------ *)
+(* Spatial sharding: single-cell plans are exactly the unsharded run; *)
+(* cell-disjoint topologies oracle the multi-cell merge; and domain   *)
+(* count never changes a byte of the output.                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_single_cell () =
+  let topology = Topology.grid 6 in
+  List.iter
+    (fun (name, link) ->
+      let plan = Shard.plan ~cells_x:1 ~cells_y:1 topology in
+      Alcotest.(check int) (name ^ ": one cell") 1 (Array.length plan.Shard.cells);
+      Alcotest.(check int) (name ^ ": no cut edges") 0 plan.Shard.cut_edges;
+      List.iter
+        (fun impl ->
+          let per_cell, merged =
+            Shard.run ~impl plan ~link ~seed:42
+              ~program:(fun ~cell:_ ~self -> wave_program ~self)
+              ~until:8.0
+          in
+          (* The unsharded twin must consume the same RNG stream the plan
+             hands its only cell: the first split of the master seed. *)
+          let rng = Rng.split (Rng.create 42) in
+          let e =
+            Engine.create ~impl ~topology ~link ~rng ~program:wave_program ()
+          in
+          Engine.run_until e 8.0;
+          check_counters
+            (name ^ ": single cell = unsharded")
+            (Engine.counters e) merged;
+          check_counters (name ^ ": merged = only cell") merged per_cell.(0))
+        [ Engine.Fast; Engine.Reference ])
+    links
+
+(* Two grid-6 copies, ids offset by n, 1 km apart: a 2x1 plan bins each
+   copy into its own cell with no cut edges, so with an RNG-free link model
+   the sharded run and the unsharded union run are the same physics. *)
+let twin_topology () =
+  let base = Topology.grid 6 in
+  let g = base.Topology.graph in
+  let n = Graph.n g in
+  let offsets = Array.make ((2 * n) + 1) 0 in
+  for v = 0 to (2 * n) - 1 do
+    offsets.(v + 1) <- offsets.(v) + Graph.degree g (v mod n)
+  done;
+  let targets = Array.make offsets.(2 * n) 0 in
+  let pos = ref 0 in
+  for copy = 0 to 1 do
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun w ->
+          targets.(!pos) <- w + (copy * n);
+          incr pos)
+        (Graph.neighbours g v)
+    done
+  done;
+  let graph = Graph.of_csr ~n:(2 * n) ~offsets ~targets in
+  let positions =
+    Array.init (2 * n) (fun v ->
+        let x, y = base.Topology.positions.(v mod n) in
+        if v < n then (x, y) else (x +. 1000.0, y))
+  in
+  {
+    Topology.name = "twin-grid-6";
+    graph;
+    positions;
+    source = 0;
+    sink = base.Topology.sink;
+  }
+
+let test_shard_disjoint_cells () =
+  let topology = twin_topology () in
+  let n = Graph.n topology.Topology.graph / 2 in
+  let flooder v = v mod n = 0 in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:1 topology in
+  Alcotest.(check int) "two cells" 2 (Array.length plan.Shard.cells);
+  Alcotest.(check int) "no cut edges" 0 plan.Shard.cut_edges;
+  let _, merged =
+    Shard.run plan ~link:Link_model.Ideal ~seed:7
+      ~program:(fun ~cell ~self ->
+        wave_program_if ~flood:(fun lv -> flooder cell.Shard.nodes.(lv)) ~self)
+      ~until:8.0
+  in
+  let e =
+    Engine.create ~topology ~link:Link_model.Ideal ~rng:(Rng.create 7)
+      ~program:(wave_program_if ~flood:flooder)
+      ()
+  in
+  Engine.run_until e 8.0;
+  check_counters "disjoint cells = unsharded union" (Engine.counters e) merged
+
+let test_shard_domain_invariance () =
+  let topology = Topology.grid 7 in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+  Alcotest.(check int) "four cells" 4 (Array.length plan.Shard.cells);
+  Alcotest.(check bool) "grid cells cut radio links" true
+    (plan.Shard.cut_edges > 0);
+  List.iter
+    (fun (name, link) ->
+      let run domains =
+        Shard.run ~domains plan ~link ~seed:11
+          ~program:(fun ~cell:_ ~self -> wave_program ~self)
+          ~until:6.0
+      in
+      let pc1, m1 = run 1 in
+      let pc2, m2 = run 2 in
+      Alcotest.(check string)
+        (name ^ ": sharded JSON identical across domain counts")
+        (Shard.counters_json pc1 m1)
+        (Shard.counters_json pc2 m2))
+    links
 
 let () =
   Alcotest.run "engine-equivalence"
@@ -334,5 +465,14 @@ let () =
           Alcotest.test_case "das with mid-setup crashes" `Quick
             test_das_with_crashes;
           Alcotest.test_case "mid-run stop" `Quick test_stop_equivalence;
+        ] );
+      ( "spatial sharding",
+        [
+          Alcotest.test_case "single cell = unsharded" `Quick
+            test_shard_single_cell;
+          Alcotest.test_case "disjoint cells = unsharded union" `Quick
+            test_shard_disjoint_cells;
+          Alcotest.test_case "domain-count invariance" `Quick
+            test_shard_domain_invariance;
         ] );
     ]

@@ -113,6 +113,17 @@ let test_poly_eq () =
   check_clean "outside the hot path the protocol may compare options"
     (lint ~path:"lib/core/protocol.ml" "let f x = x = Some 3")
 
+let test_hot_path_hashtbl () =
+  check_fires "engine create" "hot-path-hashtbl"
+    (lint "let f n = Hashtbl.create n");
+  check_fires "protocol create" "hot-path-hashtbl"
+    (lint ~path:"lib/core/protocol.ml" "let f () = Hashtbl.create 16");
+  check_clean "setup-time tables may be inline-allowed"
+    (lint
+       "(* slp-lint: allow hot-path-hashtbl *)\nlet f n = Hashtbl.create n");
+  check_clean "outside the engine/protocol hot path tables are fine"
+    (lint ~path:"lib/core/coverage.ml" "let f n = Hashtbl.create n")
+
 let test_no_print () =
   check_fires "Printf.printf" "no-print"
     (lint "let f () = Printf.printf \"%d\" 3");
@@ -260,6 +271,7 @@ let () =
           Alcotest.test_case "domain-capture" `Quick test_domain_capture;
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "poly-eq" `Quick test_poly_eq;
+          Alcotest.test_case "hot-path-hashtbl" `Quick test_hot_path_hashtbl;
           Alcotest.test_case "no-print" `Quick test_no_print;
         ] );
       ( "suppression",

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke clean
+.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke serve-smoke clean
 
 build:
 	dune build @all
@@ -58,6 +58,24 @@ scale-smoke:
 	  --domains 2 --json _build/scale_d2.json > /dev/null
 	diff -u _build/scale_d1.json _build/scale_d2.json
 	@echo "scale observables byte-identical for --domains 1 and 2"
+
+# Verification service determinism: batch answers (JSON lines on stdout)
+# must be byte-identical across --domains 1 and 2 on cold caches, and a
+# warm rerun over the first run's on-disk cache must reproduce the cold
+# output exactly — answers never depend on where they were computed.
+serve-smoke:
+	printf 'dim=7 seed=1\ndim=7 seed=1 slp=true sd=2\ndim=9 seed=2 r=2 h=2 m=1 decide=history-avoiding\ndim=7 seed=1\n' \
+	  > _build/serve_queries.txt
+	rm -rf _build/serve_cache_a _build/serve_cache_b
+	dune exec bin/slp_das_cli.exe -- serve _build/serve_queries.txt \
+	  --domains 1 --cache-dir _build/serve_cache_a > _build/serve_d1.out
+	dune exec bin/slp_das_cli.exe -- serve _build/serve_queries.txt \
+	  --domains 2 --cache-dir _build/serve_cache_b > _build/serve_d2.out
+	diff -u _build/serve_d1.out _build/serve_d2.out
+	dune exec bin/slp_das_cli.exe -- serve _build/serve_queries.txt \
+	  --domains 1 --cache-dir _build/serve_cache_a > _build/serve_warm.out
+	diff -u _build/serve_d1.out _build/serve_warm.out
+	@echo "serve answers byte-identical across domain counts and warm cache"
 
 clean:
 	dune clean

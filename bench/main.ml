@@ -12,6 +12,7 @@
      [Energy]       CC2420 radio cost per protocol;
      [Ablations]    decoy gap, attacker class, safety factor, schedule
                     builders, alternative topologies, DAS validity;
+     [Serve]        verification service cold vs warm cache throughput;
      [Micro]        Bechamel timings (schedule construction, verification,
                     refinement, engine throughput).
 
@@ -820,6 +821,144 @@ let ablation_verifier_cost () =
      expensive case is a genuinely nondeterministic D whose candidate sets\n\
      branch, as in Verifier.attacker_traces.)"
 
+(* ------------------------------------------------------------------ *)
+(* Verification service: cold vs warm cache throughput               *)
+(* ------------------------------------------------------------------ *)
+
+(* The service layer's reason to exist: repeated VerifySchedule queries —
+   the same schedules probed by several attacker classes, the access
+   pattern of the tuner and the fault pipeline — should cost a cache
+   lookup, not a fresh state-space search.  Cold = empty cache, every
+   query verified; warm = the same batch replayed against the populated
+   cache.  Verdict counts are seed-determined and always print; the
+   timings (machine-dependent) print and go to
+   bench_results/BENCH_verify.json only in micro mode. *)
+let verify_service () =
+  section "Verification service: cold vs warm batch (15x15 + 21x21)";
+  (* Same attacker classes as the verifier-cost ablation above; the larger
+     grids give longer traces so the cold pass measures real search work. *)
+  let items_of_grid dim =
+    let topology = Slpdas_wsn.Topology.grid dim in
+    let g = topology.Slpdas_wsn.Topology.graph in
+    let sink = topology.Slpdas_wsn.Topology.sink in
+    let source = topology.Slpdas_wsn.Topology.source in
+    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+    let safety_period = Slpdas_core.Safety.safety_periods ~delta_ss () in
+    let attackers =
+      [
+        Slpdas_serve.Query.make_attacker Slpdas_serve.Query.Lowest_slot ~r:1
+          ~h:0 ~m:1 ~start:sink;
+        Slpdas_serve.Query.make_attacker Slpdas_serve.Query.History_avoiding
+          ~r:2 ~h:2 ~m:1 ~start:sink;
+        Slpdas_serve.Query.make_attacker Slpdas_serve.Query.History_avoiding
+          ~r:2 ~h:4 ~m:2 ~start:sink;
+        Slpdas_serve.Query.make_attacker Slpdas_serve.Query.History_avoiding
+          ~r:3 ~h:6 ~m:3 ~start:sink;
+      ]
+    in
+    let schedules =
+      List.init 12 (fun i ->
+          (Slpdas_core.Das_build.build
+             ~rng:(Slpdas_util.Rng.create (2000 + i))
+             g ~sink)
+            .Slpdas_core.Das_build.schedule)
+    in
+    List.concat_map
+      (fun schedule ->
+        List.map
+          (fun attacker ->
+            {
+              Slpdas_serve.Batch.graph = g;
+              schedule;
+              attacker;
+              safety_period;
+              source;
+            })
+          attackers)
+      schedules
+  in
+  let items = items_of_grid 15 @ items_of_grid 21 in
+  let n_queries = List.length items in
+  let service = Slpdas_serve.Service.create () in
+  let t0 = Unix.gettimeofday () in
+  let cold = Slpdas_serve.Batch.run_many ~domains service items in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  (* Best of three replays: the warm pass is microseconds, so a single
+     sample is at the mercy of the timer and the GC. *)
+  let warm = ref cold and warm_s = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    warm := Slpdas_serve.Batch.run_many ~domains service items;
+    warm_s := Float.min !warm_s (Unix.gettimeofday () -. t0)
+  done;
+  let warm = !warm and warm_s = !warm_s in
+  let stable =
+    List.for_all2 Slpdas_serve.Query.answer_equal cold warm
+  in
+  let safe =
+    List.length
+      (List.filter
+         (fun (a : Slpdas_serve.Query.answer) ->
+           match a.Slpdas_serve.Query.outcome with
+           | Slpdas_core.Verifier.Safe -> true
+           | Slpdas_core.Verifier.Captured _ -> false)
+         cold)
+  in
+  let stats = Slpdas_serve.Service.stats service in
+  Printf.printf
+    "%d queries per pass (2 grids x 12 schedules x 4 attacker classes): %d \
+     safe, %d captured\n"
+    n_queries safe (n_queries - safe);
+  Printf.printf "full verifications across all passes: %d of %d served\n"
+    stats.Slpdas_serve.Service.computed stats.Slpdas_serve.Service.served;
+  Printf.printf "warm replay answers identical: %s\n"
+    (if stable then "yes" else "NO");
+  if micro_mode then begin
+    let qps s = float_of_int n_queries /. Float.max s 1e-9 in
+    let speedup = cold_s /. Float.max warm_s 1e-9 in
+    emit ~name:"verify_service"
+      ~header:[ "pass"; "queries"; "wall"; "queries/s" ]
+      [
+        [
+          "cold (empty cache)";
+          string_of_int n_queries;
+          Printf.sprintf "%.1f ms" (1000. *. cold_s);
+          Printf.sprintf "%.0f" (qps cold_s);
+        ];
+        [
+          "warm (cache hits)";
+          string_of_int n_queries;
+          Printf.sprintf "%.1f ms" (1000. *. warm_s);
+          Printf.sprintf "%.0f" (qps warm_s);
+        ];
+      ];
+    Printf.printf "warm/cold speedup: %.0fx\n" speedup;
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    try
+      let oc = open_out (Filename.concat results_dir "BENCH_verify.json") in
+      Printf.fprintf oc
+        "{\n\
+        \  \"unit\": \"seconds per pass, warm = best of 3\",\n\
+        \  \"grids\": [15, 21],\n\
+        \  \"domains\": %d,\n\
+        \  \"queries_per_pass\": %d,\n\
+        \  \"computed\": %d,\n\
+        \  \"served\": %d,\n\
+        \  \"cold_s\": %.6f,\n\
+        \  \"warm_s\": %.6f,\n\
+        \  \"cold_qps\": %.1f,\n\
+        \  \"warm_qps\": %.1f,\n\
+        \  \"speedup\": %.1f\n\
+         }\n"
+        domains n_queries stats.Slpdas_serve.Service.computed
+        stats.Slpdas_serve.Service.served cold_s warm_s (qps cold_s)
+        (qps warm_s) speedup;
+      close_out oc
+    with Sys_error _ -> ()
+  end
+
 let ablation_topologies () =
   section
     "Ablation: beyond the paper's 4-connected grid (centralized x200, gap=2)";
@@ -1346,6 +1485,7 @@ let () =
   ablation_safety_factor ();
   ablation_builders ();
   ablation_verifier_cost ();
+  timed "verify_service" verify_service;
   ablation_topologies ();
   ablation_das_validity ();
   if micro_mode then begin

@@ -1,0 +1,131 @@
+(* Cmdliner terms and helpers shared by the slp_das_cli subcommands.
+
+   Every subcommand used to declare its own copies of the dimension /
+   seed / refinement / attacker arguments; they live here once so that a
+   flag rename or a doc fix propagates everywhere, and so new subcommands
+   (serve, tune) cannot drift from the established option names. *)
+
+open Cmdliner
+
+let dim_arg =
+  let doc = "Grid dimension (the paper uses 11, 15 and 21)." in
+  Arg.(value & opt int 11 & info [ "d"; "dim" ] ~docv:"DIM" ~doc)
+
+let seed_arg =
+  let doc = "Root random seed." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let sd_arg =
+  let doc = "Search distance SD (Table I: 3 or 5)." in
+  Arg.(value & opt int 3 & info [ "search-distance" ] ~docv:"SD" ~doc)
+
+let gap_arg =
+  let doc =
+    "Decoy slot gap for Phase 3 (1 = paper-literal nSlot-1; larger values \
+     harden the lure)."
+  in
+  Arg.(value & opt int 1 & info [ "gap" ] ~docv:"GAP" ~doc)
+
+let slp_arg =
+  let doc = "Apply the SLP refinement (Phases 2-3); default protectionless." in
+  Arg.(value & flag & info [ "slp" ] ~doc)
+
+let runs_arg =
+  let doc = "Number of seeded runs." in
+  Arg.(value & opt int 50 & info [ "n"; "runs" ] ~docv:"RUNS" ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains for multi-run commands (default: the hardware's \
+     recommended count).  Results are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let events_json_arg =
+  let doc =
+    "Write the run's aggregated event-bus counters (broadcasts, deliveries, \
+     drops, timer fires, attacker moves, phase transitions) as JSON to FILE."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-json" ] ~docv:"FILE" ~doc)
+
+(* The attacker's (R, H, M) budget, one triple of terms. *)
+let attacker_args =
+  let r =
+    Arg.(value & opt int 1 & info [ "r" ] ~docv:"R" ~doc:"Messages heard per move.")
+  in
+  let h =
+    Arg.(value & opt int 0 & info [ "history" ] ~docv:"H" ~doc:"History size.")
+  in
+  let m =
+    Arg.(value & opt int 1 & info [ "m" ] ~docv:"M" ~doc:"Moves per period.")
+  in
+  (r, h, m)
+
+let cache_dir_arg =
+  let doc =
+    "Persist verification answers under DIR (versioned byte-stable files); \
+     warm runs answer from it without re-verifying."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let topology_of_dim dim = Slpdas_wsn.Topology.grid dim
+
+(* Graph.diameter is all-pairs BFS, O(n·(n+m)); reporting it on a
+   paper-scale grid is fine, on a 1000x1000 grid it is hours.  Anything
+   that prints it gates on this threshold. *)
+let diameter_node_limit = 10_000
+
+let params_of ~sd ~gap =
+  { (Slpdas_exp.Params.with_search_distance sd Slpdas_exp.Params.default) with
+    Slpdas_exp.Params.refine_gap = gap }
+
+let build_schedule ~topo ~seed ~slp ~sd ~gap =
+  let g = topo.Slpdas_wsn.Topology.graph in
+  let rng = Slpdas_util.Rng.create seed in
+  let das = Slpdas_core.Das_build.build ~rng g ~sink:topo.Slpdas_wsn.Topology.sink in
+  if not slp then (das.Slpdas_core.Das_build.schedule, None)
+  else begin
+    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topo in
+    let change_length = max 1 (delta_ss - sd) in
+    match
+      Slpdas_core.Slp_refine.refine ~rng ~gap g ~das ~search_distance:sd
+        ~change_length
+    with
+    | Some r -> (r.Slpdas_core.Slp_refine.refined, Some r)
+    | None -> (das.Slpdas_core.Das_build.schedule, None)
+  end
+
+(* [build_das] is the prefix of [build_schedule] that the tuner needs: the
+   Phase-1 DAS with its parent tree, before any refinement. *)
+let build_das ~topo ~seed =
+  let g = topo.Slpdas_wsn.Topology.graph in
+  Slpdas_core.Das_build.build ~rng:(Slpdas_util.Rng.create seed) g
+    ~sink:topo.Slpdas_wsn.Topology.sink
+
+let write_events_json path counters =
+  match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Slpdas_sim.Event.to_json counters);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "events: wrote %s@." path
+
+(* Price a run (or the element-wise sum of several runs) in Joules; see
+   {!Slpdas_exp.Energy}. *)
+let print_energy ?(runs = 1) graph ~broadcasts_by_node ~duration_seconds =
+  let report = Slpdas_exp.Energy.of_broadcasts graph ~broadcasts_by_node in
+  let per_run = 1.0 /. float_of_int (max 1 runs) in
+  Format.printf
+    "energy: total %.3f J; hotspot node %d at %.4f J; mean node %.4f J@."
+    (report.Slpdas_exp.Energy.total_joules *. per_run)
+    report.Slpdas_exp.Energy.hotspot
+    (report.Slpdas_exp.Energy.max_node_joules *. per_run)
+    (report.Slpdas_exp.Energy.mean_node_joules *. per_run);
+  if duration_seconds > 0.0 then
+    Format.printf "energy: hotspot lifetime %.0f days on 2xAA@."
+      (Slpdas_exp.Energy.lifetime_days report ~duration_seconds)

@@ -6,113 +6,19 @@
      verify      run VerifySchedule (Algorithm 1) against an attacker
      simulate    one full discrete-event run with an attacker
      chaos       seeded fault-injection runs with repair metrics
-     experiment  capture-ratio sweeps (the Fig. 5 experiment) *)
+     experiment  capture-ratio sweeps (the Fig. 5 experiment)
+     serve       answer batched verification queries through the cache
+     tune        search the (SD, CL) space for the max-delta schedule
+
+   The terms shared across subcommands (dimension, seed, refinement
+   knobs, attacker budget, ...) live in Cli_terms. *)
 
 open Cmdliner
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let dim_arg =
-  let doc = "Grid dimension (the paper uses 11, 15 and 21)." in
-  Arg.(value & opt int 11 & info [ "d"; "dim" ] ~docv:"DIM" ~doc)
-
-let seed_arg =
-  let doc = "Root random seed." in
-  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
-
-let sd_arg =
-  let doc = "Search distance SD (Table I: 3 or 5)." in
-  Arg.(value & opt int 3 & info [ "search-distance" ] ~docv:"SD" ~doc)
-
-let gap_arg =
-  let doc =
-    "Decoy slot gap for Phase 3 (1 = paper-literal nSlot-1; larger values \
-     harden the lure)."
-  in
-  Arg.(value & opt int 1 & info [ "gap" ] ~docv:"GAP" ~doc)
-
-let slp_arg =
-  let doc = "Apply the SLP refinement (Phases 2-3); default protectionless." in
-  Arg.(value & flag & info [ "slp" ] ~doc)
-
-let runs_arg =
-  let doc = "Number of seeded runs." in
-  Arg.(value & opt int 50 & info [ "n"; "runs" ] ~docv:"RUNS" ~doc)
-
-let topology_of_dim dim = Slpdas_wsn.Topology.grid dim
-
-let domains_arg =
-  let doc =
-    "Worker domains for multi-run commands (default: the hardware's \
-     recommended count).  Results are identical for every value."
-  in
-  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
-
-let events_json_arg =
-  let doc =
-    "Write the run's aggregated event-bus counters (broadcasts, deliveries, \
-     drops, timer fires, attacker moves, phase transitions) as JSON to FILE."
-  in
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "events-json" ] ~docv:"FILE" ~doc)
-
-let write_events_json path counters =
-  match path with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    output_string oc (Slpdas_sim.Event.to_json counters);
-    output_char oc '\n';
-    close_out oc;
-    Format.printf "events: wrote %s@." path
-
-(* Price a run (or the element-wise sum of several runs) in Joules; see
-   {!Slpdas_exp.Energy}. *)
-let print_energy ?(runs = 1) graph ~broadcasts_by_node ~duration_seconds =
-  let report = Slpdas_exp.Energy.of_broadcasts graph ~broadcasts_by_node in
-  let per_run = 1.0 /. float_of_int (max 1 runs) in
-  Format.printf
-    "energy: total %.3f J; hotspot node %d at %.4f J; mean node %.4f J@."
-    (report.Slpdas_exp.Energy.total_joules *. per_run)
-    report.Slpdas_exp.Energy.hotspot
-    (report.Slpdas_exp.Energy.max_node_joules *. per_run)
-    (report.Slpdas_exp.Energy.mean_node_joules *. per_run);
-  if duration_seconds > 0.0 then
-    Format.printf "energy: hotspot lifetime %.0f days on 2xAA@."
-      (Slpdas_exp.Energy.lifetime_days report ~duration_seconds)
-
-let params_of ~sd ~gap =
-  { (Slpdas_exp.Params.with_search_distance sd Slpdas_exp.Params.default) with
-    Slpdas_exp.Params.refine_gap = gap }
-
-let build_schedule ~topo ~seed ~slp ~sd ~gap =
-  let g = topo.Slpdas_wsn.Topology.graph in
-  let rng = Slpdas_util.Rng.create seed in
-  let das = Slpdas_core.Das_build.build ~rng g ~sink:topo.Slpdas_wsn.Topology.sink in
-  if not slp then (das.Slpdas_core.Das_build.schedule, None)
-  else begin
-    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topo in
-    let change_length = max 1 (delta_ss - sd) in
-    match
-      Slpdas_core.Slp_refine.refine ~rng ~gap g ~das ~search_distance:sd
-        ~change_length
-    with
-    | Some r -> (r.Slpdas_core.Slp_refine.refined, Some r)
-    | None -> (das.Slpdas_core.Das_build.schedule, None)
-  end
+open Cli_terms
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                           *)
 (* ------------------------------------------------------------------ *)
-
-(* Graph.diameter is all-pairs BFS, O(n·(n+m)); reporting it on a
-   paper-scale grid is fine, on a 1000x1000 grid it is hours.  Anything
-   that prints it gates on this threshold. *)
-let diameter_node_limit = 10_000
 
 let topology_cmd =
   let run dim =
@@ -237,21 +143,9 @@ let coverage_cmd =
 (* verify                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let attacker_args =
-  let r =
-    Arg.(value & opt int 1 & info [ "r" ] ~docv:"R" ~doc:"Messages heard per move.")
-  in
-  let h =
-    Arg.(value & opt int 0 & info [ "history" ] ~docv:"H" ~doc:"History size.")
-  in
-  let m =
-    Arg.(value & opt int 1 & info [ "m" ] ~docv:"M" ~doc:"Moves per period.")
-  in
-  (r, h, m)
-
 let verify_cmd =
   let r_arg, h_arg, m_arg = attacker_args in
-  let run dim seed slp sd gap r h m =
+  let run dim seed slp sd gap r h m cache_dir =
     let topo = topology_of_dim dim in
     let g = topo.Slpdas_wsn.Topology.graph in
     let schedule, _ = build_schedule ~topo ~seed ~slp ~sd ~gap in
@@ -261,22 +155,29 @@ let verify_cmd =
       Slpdas_core.Attacker.make ~r ~h ~m ~start:topo.Slpdas_wsn.Topology.sink ()
     in
     Format.printf "safety period: %d TDMA periods@." safety_period;
-    match
-      Slpdas_core.Verifier.verify g schedule ~attacker ~safety_period
-        ~source:topo.Slpdas_wsn.Topology.source
-    with
+    let service = Slpdas_serve.Service.create ?cache_dir () in
+    let outcome, explored =
+      Slpdas_serve.Service.verify_stats service g schedule ~attacker
+        ~safety_period ~source:topo.Slpdas_wsn.Topology.source
+    in
+    (match outcome with
     | Slpdas_core.Verifier.Safe ->
       Format.printf "verdict: SLP-aware (no admissible trace captures)@."
     | Slpdas_core.Verifier.Captured { trace; periods } ->
       Format.printf "verdict: CAPTURED in %d periods@." periods;
       Format.printf "counterexample: %s@."
-        (String.concat " -> " (List.map string_of_int trace))
+        (String.concat " -> " (List.map string_of_int trace)));
+    Format.printf "explored: %d attacker states@." explored;
+    let stats = Slpdas_serve.Service.stats service in
+    if stats.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits > 0 then
+      Format.printf "(answered from %s)@."
+        (Option.value cache_dir ~default:"cache")
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run VerifySchedule (Algorithm 1)")
     Term.(
       const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ r_arg
-      $ h_arg $ m_arg)
+      $ h_arg $ m_arg $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -780,6 +681,275 @@ let scale_cmd =
       const run $ dim_arg $ seed_arg $ cells_arg $ domains_arg $ until_arg
       $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One query per line, whitespace-separated key=value tokens:
+
+     dim=11 seed=1 slp=true sd=3 gap=1 r=1 h=0 m=2 decide=history-avoiding
+
+   Unknown keys are an error; omitted keys default like the verify
+   subcommand's flags ([safety] defaults to Eq. 1 on the line's topology,
+   [source] to the topology's source).  '#' starts a comment. *)
+type serve_query = {
+  q_line : int;
+  q_dim : int;
+  q_seed : int;
+  q_slp : bool;
+  q_sd : int;
+  q_gap : int;
+  q_r : int;
+  q_h : int;
+  q_m : int;
+  q_decide : string;
+  q_safety : int option;
+  q_source : int option;
+}
+
+let parse_serve_query ~line_no line =
+  let q =
+    ref
+      {
+        q_line = line_no;
+        q_dim = 11;
+        q_seed = 1;
+        q_slp = false;
+        q_sd = 3;
+        q_gap = 1;
+        q_r = 1;
+        q_h = 0;
+        q_m = 1;
+        q_decide = "lowest-slot";
+        q_safety = None;
+        q_source = None;
+      }
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> not (String.equal t ""))
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> fail "line %d: %s wants an integer, got %S" line_no k v
+  in
+  let rec go = function
+    | [] -> Ok !q
+    | token :: rest ->
+      (match String.index_opt token '=' with
+      | None -> fail "line %d: expected key=value, got %S" line_no token
+      | Some i ->
+        let k = String.sub token 0 i in
+        let v = String.sub token (i + 1) (String.length token - i - 1) in
+        let set_int f = Result.map (fun n -> q := f n) (parse_int k v) in
+        let r =
+          match k with
+          | "dim" -> set_int (fun n -> { !q with q_dim = n })
+          | "seed" -> set_int (fun n -> { !q with q_seed = n })
+          | "sd" -> set_int (fun n -> { !q with q_sd = n })
+          | "gap" -> set_int (fun n -> { !q with q_gap = n })
+          | "r" -> set_int (fun n -> { !q with q_r = n })
+          | "h" -> set_int (fun n -> { !q with q_h = n })
+          | "m" -> set_int (fun n -> { !q with q_m = n })
+          | "safety" -> set_int (fun n -> { !q with q_safety = Some n })
+          | "source" -> set_int (fun n -> { !q with q_source = Some n })
+          | "slp" ->
+            (match bool_of_string_opt v with
+            | Some b -> Ok (q := { !q with q_slp = b })
+            | None -> fail "line %d: slp wants true/false, got %S" line_no v)
+          | "decide" ->
+            (match Slpdas_serve.Query.decider_of_name v with
+            | Some _ -> Ok (q := { !q with q_decide = v })
+            | None -> fail "line %d: unknown decider %S" line_no v)
+          | _ -> fail "line %d: unknown key %S" line_no k
+        in
+        Result.bind r (fun () -> go rest))
+  in
+  go tokens
+
+let serve_item sq =
+  let topo = topology_of_dim sq.q_dim in
+  let g = topo.Slpdas_wsn.Topology.graph in
+  let schedule, _ =
+    build_schedule ~topo ~seed:sq.q_seed ~slp:sq.q_slp ~sd:sq.q_sd
+      ~gap:sq.q_gap
+  in
+  let decider =
+    (* parse_serve_query already validated the name *)
+    Option.get (Slpdas_serve.Query.decider_of_name sq.q_decide)
+  in
+  let attacker =
+    Slpdas_serve.Query.make_attacker decider ~r:sq.q_r ~h:sq.q_h ~m:sq.q_m
+      ~start:topo.Slpdas_wsn.Topology.sink
+  in
+  let safety_period =
+    match sq.q_safety with
+    | Some p -> p
+    | None ->
+      Slpdas_core.Safety.safety_periods
+        ~delta_ss:(Slpdas_wsn.Topology.source_sink_distance topo) ()
+  in
+  let source =
+    Option.value sq.q_source ~default:topo.Slpdas_wsn.Topology.source
+  in
+  { Slpdas_serve.Batch.graph = g; schedule; attacker; safety_period; source }
+
+let print_serve_answer sq (a : Slpdas_serve.Query.answer) =
+  match a.Slpdas_serve.Query.outcome with
+  | Slpdas_core.Verifier.Safe ->
+    Printf.printf "{\"line\": %d, \"outcome\": \"safe\", \"explored\": %d}\n"
+      sq.q_line a.Slpdas_serve.Query.explored
+  | Slpdas_core.Verifier.Captured { trace; periods } ->
+    Printf.printf
+      "{\"line\": %d, \"outcome\": \"captured\", \"periods\": %d, \
+       \"explored\": %d, \"trace\": [%s]}\n"
+      sq.q_line periods a.Slpdas_serve.Query.explored
+      (String.concat ", " (List.map string_of_int trace))
+
+let serve_cmd =
+  let run file cache_dir domains =
+    let ic, close =
+      match file with
+      | None | Some "-" -> (stdin, fun () -> ())
+      | Some path ->
+        let ic = open_in path in
+        (ic, fun () -> close_in ic)
+    in
+    let queries = ref [] in
+    let line_no = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         let trimmed = String.trim line in
+         if
+           (not (String.equal trimmed ""))
+           && not (String.length trimmed > 0 && trimmed.[0] = '#')
+         then begin
+           match parse_serve_query ~line_no:!line_no trimmed with
+           | Ok q -> queries := q :: !queries
+           | Error msg ->
+             close ();
+             prerr_endline msg;
+             exit 2
+         end
+       done
+     with End_of_file -> close ());
+    let queries = List.rev !queries in
+    let items = List.map serve_item queries in
+    let service = Slpdas_serve.Service.create ?cache_dir () in
+    let domains =
+      match domains with Some d -> d | None -> Slpdas_util.Pool.recommended ()
+    in
+    let answers = Slpdas_serve.Batch.run_many ~domains service items in
+    List.iter2 print_serve_answer queries answers;
+    (* Stats go to stderr: stdout carries only the semantic answers, so a
+       warm rerun is byte-identical to a cold one. *)
+    let s = Slpdas_serve.Service.stats service in
+    Printf.eprintf
+      "serve: %d queries, %d verified, %d memory hits, %d disk hits\n"
+      s.Slpdas_serve.Service.served s.Slpdas_serve.Service.computed
+      s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.hits
+      s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Query file, one key=value query per line ('-' or absent: \
+             stdin).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer batched verification queries (JSON lines) through the \
+          cached service")
+    Term.(const run $ file_arg $ cache_dir_arg $ domains_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tune_cmd =
+  let r_arg, h_arg, m_arg = attacker_args in
+  let run dim seed gap r h m budget restarts max_evals cache_dir =
+    let topo = topology_of_dim dim in
+    let g = topo.Slpdas_wsn.Topology.graph in
+    let das = build_das ~topo ~seed in
+    let attacker =
+      Slpdas_core.Attacker.make ~r ~h ~m ~start:topo.Slpdas_wsn.Topology.sink ()
+    in
+    let delta_ss = Slpdas_wsn.Topology.source_sink_distance topo in
+    let service = Slpdas_serve.Service.create ?cache_dir () in
+    let result =
+      Slpdas_serve.Tuner.tune ~seed ~restarts ~max_evals ~gap service g ~das
+        ~attacker ~source:topo.Slpdas_wsn.Topology.source ~delta_ss
+        ~budget_joules:budget
+    in
+    let rows =
+      List.map
+        (fun (e : Slpdas_serve.Tuner.eval) ->
+          [
+            string_of_int e.Slpdas_serve.Tuner.point.Slpdas_serve.Tuner.sd;
+            string_of_int e.Slpdas_serve.Tuner.point.Slpdas_serve.Tuner.cl;
+            (if e.Slpdas_serve.Tuner.feasible then "yes" else "no");
+            string_of_int e.Slpdas_serve.Tuner.delta;
+            Printf.sprintf "%.4f" e.Slpdas_serve.Tuner.energy_joules;
+            (if e.Slpdas_serve.Tuner.within_budget then "yes" else "no");
+          ])
+        result.Slpdas_serve.Tuner.evals
+    in
+    print_string
+      (Slpdas_util.Tabular.render
+         ~header:[ "SD"; "CL"; "feasible"; "delta"; "energy J"; "in budget" ]
+         rows);
+    (match result.Slpdas_serve.Tuner.best with
+    | None ->
+      Format.printf
+        "no feasible refinement within %.4f J (delta_ss=%d)@." budget delta_ss
+    | Some (e, _sched) ->
+      Format.printf
+        "best: SD=%d CL=%d with certified delta %d at %.4f J (budget %.4f J)@."
+        e.Slpdas_serve.Tuner.point.Slpdas_serve.Tuner.sd
+        e.Slpdas_serve.Tuner.point.Slpdas_serve.Tuner.cl
+        e.Slpdas_serve.Tuner.delta e.Slpdas_serve.Tuner.energy_joules budget);
+    let s = Slpdas_serve.Service.stats service in
+    Format.printf "service: %d queries, %d verified, %d cache hits@."
+      s.Slpdas_serve.Service.served s.Slpdas_serve.Service.computed
+      (s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.hits
+      + s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits)
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "budget" ] ~docv:"JOULES"
+          ~doc:"Refinement energy budget in Joules.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "restarts" ] ~docv:"N" ~doc:"Seeded hill-climb restarts.")
+  in
+  let max_evals_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "max-evals" ] ~docv:"N"
+          ~doc:"Distinct (SD, CL) points to evaluate at most.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the (SD, CL) refinement space for the max-delta schedule \
+          within an energy budget")
+    Term.(
+      const run $ dim_arg $ seed_arg $ gap_arg $ r_arg $ h_arg $ m_arg
+      $ budget_arg $ restarts_arg $ max_evals_arg $ cache_dir_arg)
+
 let () =
   let info =
     Cmd.info "slp_das_cli" ~version:"1.0.0"
@@ -799,4 +969,6 @@ let () =
             chaos_cmd;
             experiment_cmd;
             scale_cmd;
+            serve_cmd;
+            tune_cmd;
           ]))

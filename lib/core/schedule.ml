@@ -1,8 +1,15 @@
-type t = { n : int; sink : int; slots : int option array }
+type t = {
+  n : int;
+  sink : int;
+  slots : int option array;
+  (* Lazily computed content digest, invalidated by [assign]/[clear_slot] so
+     a warm read is a field load rather than an O(n) rehash. *)
+  mutable digest_memo : string option;
+}
 
 let create ~n ~sink =
   if sink < 0 || sink >= n then invalid_arg "Schedule.create: sink out of range";
-  { n; sink; slots = Array.make n None }
+  { n; sink; slots = Array.make n None; digest_memo = None }
 
 let n t = t.n
 
@@ -14,11 +21,13 @@ let check_node t v =
 let assign t v s =
   check_node t v;
   if v = t.sink then invalid_arg "Schedule.assign: the sink has no slot";
-  t.slots.(v) <- Some s
+  t.slots.(v) <- Some s;
+  t.digest_memo <- None
 
 let clear_slot t v =
   check_node t v;
-  t.slots.(v) <- None
+  t.slots.(v) <- None;
+  t.digest_memo <- None
 
 let slot t v =
   check_node t v;
@@ -68,6 +77,25 @@ let sender_sets t =
   |> List.sort (Slpdas_util.Order.by fst Int.compare)
 
 let copy t = { t with slots = Array.copy t.slots }
+
+let digest t =
+  match t.digest_memo with
+  | Some d -> d
+  | None ->
+      let h = Slpdas_util.Fnv.create () in
+      Slpdas_util.Fnv.add_int h t.n;
+      Slpdas_util.Fnv.add_int h t.sink;
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> Slpdas_util.Fnv.add_int h (-1)
+          | Some s ->
+              Slpdas_util.Fnv.add_int h 1;
+              Slpdas_util.Fnv.add_int h s)
+        t.slots;
+      let d = "s1-" ^ Slpdas_util.Fnv.hex h in
+      t.digest_memo <- Some d;
+      d
 
 let equal a b =
   a.n = b.n && a.sink = b.sink

@@ -55,6 +55,16 @@ val copy : t -> t
 
 val equal : t -> t -> bool
 
+val digest : t -> string
+(** A content digest of the schedule — node count, sink, and every slot
+    assignment — stable across machines and OCaml versions (built on
+    {!Slpdas_util.Fnv}, never [Hashtbl.hash]), so it can key persistent
+    verification caches.  [digest a = digest b] coincides with {!equal} up
+    to hash collisions (negligible at 128 bits).  Memoized: computing it on
+    an unchanged schedule is a field read; {!assign} and {!clear_slot}
+    invalidate the memo.  The string starts with an ["s1-"] version tag so
+    future encoding changes cannot alias old keys. *)
+
 val of_alist : n:int -> sink:int -> (int * int) list -> t
 (** [of_alist ~n ~sink assocs] builds a schedule from [(node, slot)] pairs.
     @raise Invalid_argument on duplicates, the sink, or out-of-range nodes. *)

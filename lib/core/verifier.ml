@@ -387,3 +387,189 @@ let capture_time g sched ~attacker ~source ~limit =
     (match !best_capture with
     | Some (p, trace) -> Some (p, trace)
     | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Certificates and incremental re-verification                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = { loc : int; period : int; moves : int; history : int list }
+
+type certificate = { cert_outcome : outcome; cert_visited : state array }
+
+(* Same search as {!verify_with_stats} (packed fast path, reference
+   fallback), additionally recording every state at the moment it is
+   expanded.  For a [Safe] outcome the record is the complete reachable set
+   within the period budget — the safety {e certificate} the incremental
+   re-verifier consumes; for [Captured] it is the prefix the DFS expanded
+   before finding the counterexample. *)
+let verify_certified g sched ~attacker ~safety_period ~source =
+  check_args g ~safety_period ~source;
+  let recorded = ref [] in
+  let record loc period moves history =
+    recorded := { loc; period; moves; history } :: !recorded
+  in
+  let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
+  let exception Found of int list * int in
+  let outcome =
+    match
+      packed_visited ~n:(Slpdas_wsn.Graph.n g) ~safety_period ~attacker
+    with
+    | Some (packing, mem_add, _) ->
+      let h = attacker.Attacker.h in
+      let rec explore loc period moves history hist trace_rev =
+        if period > safety_period || mem_add ~loc ~period ~moves ~hist then ()
+        else begin
+          record loc period moves history;
+          List.iter
+            (fun (c, period', moves') ->
+              if c = source && period' <= safety_period then
+                raise (Found (List.rev (c :: trace_rev), period'));
+              let history', hist' =
+                if h > 0 then
+                  ( take (h - 1) history loc,
+                    ((hist lsl packing.bits_loc) lor (loc + 1))
+                    land packing.hist_mask )
+                else (history, 0)
+              in
+              explore c period' moves' history' hist' (c :: trace_rev))
+            (successors_hearing g sched ~attacker ~heard_at ~loc ~period
+               ~moves ~history)
+        end
+      in
+      let start = attacker.Attacker.start in
+      (match explore start 0 0 [] 0 [ start ] with
+      | () -> Safe
+      | exception Found (trace, periods) -> Captured { trace; periods })
+    | None ->
+      let visited = Hashtbl.create 1024 in
+      let rec explore loc period moves history trace_rev =
+        let key = (loc, period, moves, history) in
+        if period > safety_period || Hashtbl.mem visited key then ()
+        else begin
+          Hashtbl.add visited key ();
+          record loc period moves history;
+          List.iter
+            (fun (c, period', moves') ->
+              if c = source && period' <= safety_period then
+                raise (Found (List.rev (c :: trace_rev), period'));
+              let history' =
+                if attacker.Attacker.h > 0 then
+                  truncate attacker.Attacker.h (loc :: history)
+                else history
+              in
+              explore c period' moves' history' (c :: trace_rev))
+            (successors_hearing g sched ~attacker ~heard_at ~loc ~period
+               ~moves ~history)
+        end
+      in
+      let start = attacker.Attacker.start in
+      (match explore start 0 0 [] [ start ] with
+      | () -> Safe
+      | exception Found (trace, periods) -> Captured { trace; periods })
+  in
+  { cert_outcome = outcome; cert_visited = Array.of_list (List.rev !recorded) }
+
+let changed_slots a b =
+  if Schedule.n a <> Schedule.n b then
+    invalid_arg "Verifier.changed_slots: schedule size mismatch";
+  let acc = ref [] in
+  for v = Schedule.n a - 1 downto 0 do
+    if not (Option.equal Int.equal (Schedule.slot a v) (Schedule.slot b v))
+    then acc := v :: !acc
+  done;
+  !acc
+
+type reverify_method = Unchanged | Incremental of int | Full of int
+
+(* Soundness of the frontier restriction.  A transition out of location
+   [loc] reads only the slots of [loc] and its neighbours ([heard_by] is
+   one-hop; the period comparison involves [loc] and the chosen neighbour),
+   so with [A] = closed neighbourhood of the changed nodes, every state
+   whose location lies outside [A] steps identically under old and new
+   schedules.  For a [Safe] baseline the certificate's visited set [V] is
+   the {e complete} old reachable set within the period budget, closed
+   under old transitions; so along any new-schedule path, the moment before
+   behaviour can first diverge the walk sits at a state of [V] whose
+   location is in [A] — one of the seeds below.  Exploring from every seed,
+   and cutting any reached state that is both outside [A] and in [V]
+   (its subtree was proven safe and re-enters [A] only through other
+   seeds), therefore finds a capture iff the full search would.  Any
+   capture found is re-derived by a full verify so the returned
+   counterexample is canonical (seeds need not be new-reachable, so a
+   capture seen here may be spurious — Safe verdicts never are). *)
+let reverify g sched ~baseline ~changed ~attacker ~safety_period ~source =
+  check_args g ~safety_period ~source;
+  let n = Slpdas_wsn.Graph.n g in
+  let full () =
+    let outcome, explored =
+      verify_with_stats g sched ~attacker ~safety_period ~source
+    in
+    (outcome, Full explored)
+  in
+  match changed with
+  | [] -> (baseline.cert_outcome, Unchanged)
+  | _ ->
+    let affected = Array.make n false in
+    List.iter
+      (fun c ->
+        if c < 0 || c >= n then
+          invalid_arg "Verifier.reverify: changed node out of range";
+        affected.(c) <- true;
+        Array.iter
+          (fun v -> affected.(v) <- true)
+          (Slpdas_wsn.Graph.neighbours g c))
+      changed;
+    let touched =
+      Array.exists (fun st -> affected.(st.loc)) baseline.cert_visited
+    in
+    if not touched then (baseline.cert_outcome, Unchanged)
+    else begin
+      match baseline.cert_outcome with
+      | Captured _ ->
+        (* A partial (counterexample) certificate proves nothing about the
+           unexplored remainder; only an untouched visited prefix lets the
+           old verdict stand (the DFS would replay identically). *)
+        full ()
+      | Safe ->
+        let old_visited =
+          Hashtbl.create ((2 * Array.length baseline.cert_visited) + 1)
+        in
+        Array.iter
+          (fun st ->
+            Hashtbl.replace old_visited
+              (st.loc, st.period, st.moves, st.history)
+              ())
+          baseline.cert_visited;
+        let heard_at = Attacker.hearing g sched ~r:attacker.Attacker.r in
+        let new_visited = Hashtbl.create 1024 in
+        let expanded = ref 0 in
+        let exception Found in
+        let rec explore loc period moves history =
+          let key = (loc, period, moves, history) in
+          if period > safety_period || Hashtbl.mem new_visited key then ()
+          else if (not affected.(loc)) && Hashtbl.mem old_visited key then ()
+          else begin
+            Hashtbl.add new_visited key ();
+            incr expanded;
+            List.iter
+              (fun (c, period', moves') ->
+                if c = source && period' <= safety_period then raise Found;
+                let history' =
+                  if attacker.Attacker.h > 0 then
+                    truncate attacker.Attacker.h (loc :: history)
+                  else history
+                in
+                explore c period' moves' history')
+              (successors_hearing g sched ~attacker ~heard_at ~loc ~period
+                 ~moves ~history)
+          end
+        in
+        (try
+           Array.iter
+             (fun st ->
+               if affected.(st.loc) then
+                 explore st.loc st.period st.moves st.history)
+             baseline.cert_visited;
+           (Safe, Incremental !expanded)
+         with Found -> full ())
+    end

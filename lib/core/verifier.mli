@@ -116,6 +116,77 @@ val capture_time :
     {!capture_time_reference} when the attacker's history does not fit a
     machine word. *)
 
+(** {2 Certificates and incremental re-verification}
+
+    A verification run can emit a {e certificate}: the set of attacker
+    states it expanded.  For a [Safe] verdict that set is the complete
+    reachable state space within the period budget — enough evidence to
+    re-verify a {e locally edited} schedule without re-running Algorithm 1
+    from scratch.  Transitions out of a location read only that location's
+    and its neighbours' slots, so a slot edit at nodes [C] can only change
+    behaviour at states located in the closed neighbourhood [N［C］];
+    {!reverify} re-explores from the certificate states located there and
+    prunes any reached state that is both outside [N［C］] and in the old
+    visited set.  Its verdicts always equal a full {!verify} (any capture
+    found incrementally is re-derived by a full run so the counterexample
+    trace is canonical). *)
+
+type state = { loc : int; period : int; moves : int; history : int list }
+(** One attacker state as explored by Algorithm 1. *)
+
+type certificate = { cert_outcome : outcome; cert_visited : state array }
+(** [cert_visited] lists every state the search expanded, in expansion
+    order; complete for [Safe], the prefix before the counterexample for
+    [Captured].  [Array.length cert_visited] equals the explored count of
+    {!verify_with_stats}. *)
+
+val verify_certified :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  certificate
+(** {!verify} (same fast path, same verdicts), additionally recording the
+    expanded states for later incremental re-verification. *)
+
+val changed_slots : Schedule.t -> Schedule.t -> int list
+(** [changed_slots a b] is the sorted list of nodes whose slot assignment
+    (including assigned/unassigned status) differs between [a] and [b] —
+    the delta to hand {!reverify} after a repair epoch or a refinement
+    step.  @raise Invalid_argument if the schedules differ in size. *)
+
+type reverify_method =
+  | Unchanged
+      (** the edit cannot touch any explored state; the baseline verdict
+          stands verbatim *)
+  | Incremental of int
+      (** re-explored only the affected frontier; the payload is the number
+          of states expanded (compare against a full run's explored
+          count) *)
+  | Full of int
+      (** fell back to a full verification (capture seen, or a [Captured]
+          baseline whose certificate was touched); payload as in
+          {!verify_with_stats} *)
+
+val reverify :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  baseline:certificate ->
+  changed:int list ->
+  attacker:Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  outcome * reverify_method
+(** [reverify g sched ~baseline ~changed ~attacker ~safety_period ~source]
+    decides δ-SLP-awareness of [sched] given a [baseline] certificate for a
+    previous schedule differing only at the nodes in [changed] (as computed
+    by {!changed_slots}).  Equals [verify g sched …] on every input; the
+    [reverify_method] reports how much work that took.  The baseline must
+    stem from the same graph, attacker, safety period and source — the
+    function cannot check this, and a mismatched baseline voids the
+    verdict. *)
+
 val capture_time_reference :
   Slpdas_wsn.Graph.t ->
   Schedule.t ->

@@ -187,11 +187,15 @@ let scenario config =
       Slpdas_core.Safety.safety_periods
         ~factor:config.params.Slpdas_exp.Params.safety_factor ~delta_ss ()
     in
-    let slp sched =
-      Slpdas_core.Verifier.is_slp_aware graph sched ~attacker ~safety_period
-        ~source
+    (* One service per extract call: extract runs in the scenario's own
+       domain under Harness.run_many, and the before-schedule's certificate
+       lets the post-fault verdict re-explore only the repaired frontier. *)
+    let service = Slpdas_serve.Service.create () in
+    let is_safe = function
+      | Slpdas_core.Verifier.Safe -> true
+      | Slpdas_core.Verifier.Captured _ -> false
     in
-    let slp_before =
+    let before_sched =
       match ops with
       | [] -> None
       | first_op :: _ -> (
@@ -200,9 +204,31 @@ let scenario config =
         in
         match List.rev before with
         | [] -> None
-        | (_, sched, _) :: _ -> Some (slp sched))
+        | (_, sched, _) :: _ -> Some sched)
     in
-    let slp_after = Some (slp masked) in
+    let slp_before =
+      Option.map
+        (fun sched ->
+          let cert =
+            Slpdas_serve.Service.verify_certified service graph sched ~attacker
+              ~safety_period ~source
+          in
+          is_safe cert.Slpdas_core.Verifier.cert_outcome)
+        before_sched
+    in
+    let slp_after =
+      match before_sched with
+      | Some prev ->
+        let outcome, _how =
+          Slpdas_serve.Service.reverify service graph ~prev masked ~attacker
+            ~safety_period ~source
+        in
+        Some (is_safe outcome)
+      | None ->
+        Some
+          (Slpdas_serve.Service.is_slp_aware service graph masked ~attacker
+             ~safety_period ~source)
+    in
     let sink_state = Slpdas_sim.Engine.node_state engine sink in
     let source_state = Slpdas_sim.Engine.node_state engine source in
     let delivered = sink_state.Slpdas_core.Protocol.delivered in

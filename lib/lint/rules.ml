@@ -86,6 +86,19 @@ let all =
         (fun p -> under "lib/sim" p || String.equal p "lib/core/protocol.ml");
     };
     {
+      name = "unstable-digest";
+      summary =
+        "Hashtbl.hash / seeded_hash / hash_param or Marshal in digest and \
+         cache-key code (lib/wsn, lib/core, lib/serve): polymorphic hash \
+         values and marshal bytes differ across OCaml versions and word \
+         sizes, so persisted cache keys built from them go stale or alias \
+         between machines; digest through Slpdas_util.Fnv and versioned \
+         text encodings instead";
+      applies =
+        (fun p ->
+          under "lib/wsn" p || under "lib/core" p || under "lib/serve" p);
+    };
+    {
       name = "no-print";
       summary =
         "Printf.printf / print_* / Format.printf / Format.std_formatter / \

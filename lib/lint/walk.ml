@@ -92,6 +92,27 @@ let check_ident ctx li loc =
       add ctx "poly-compare" loc
         "polymorphic Hashtbl.hash; hash the packed integer key instead"
   end;
+  if on ctx "unstable-digest" then begin
+    if
+      String.equal modname "Hashtbl"
+      && (String.equal value "hash"
+         || String.equal value "seeded_hash"
+         || String.equal value "hash_param")
+    then
+      add ctx "unstable-digest" loc
+        (Printf.sprintf
+           "Hashtbl.%s is polymorphic hashing: its value depends on the \
+            OCaml version and word size, so it cannot feed a persistent \
+            digest or cache key; hash through Slpdas_util.Fnv"
+           value)
+    else if String.equal modname "Marshal" then
+      add ctx "unstable-digest" loc
+        (Printf.sprintf
+           "Marshal.%s bytes are not stable across OCaml versions; digests \
+            and cache entries must use Slpdas_util.Fnv and versioned text \
+            encodings"
+           value)
+  end;
   if
     on ctx "hot-path-hashtbl"
     && String.equal modname "Hashtbl"

@@ -1,0 +1,78 @@
+type item = {
+  graph : Slpdas_wsn.Graph.t;
+  schedule : Slpdas_core.Schedule.t;
+  attacker : Slpdas_core.Attacker.params;
+  safety_period : int;
+  source : int;
+}
+
+let run_many ?(domains = 1) service items =
+  if domains < 1 then invalid_arg "Batch.run_many: domains must be >= 1";
+  let items_arr = Array.of_list items in
+  let n = Array.length items_arr in
+  let results = Array.make n None in
+  let cache = Service.cache service in
+  (* Phase 1 (calling domain): serve what the cache already knows; collect
+     one representative job per distinct unresolved query.  Uncacheable
+     items each get their own job. *)
+  let by_key = Hashtbl.create 64 in
+  let jobs_rev = ref [] in
+  let job_count = ref 0 in
+  let assignments_rev = ref [] in
+  let new_job it q =
+    let j = !job_count in
+    incr job_count;
+    jobs_rev := (it, q) :: !jobs_rev;
+    j
+  in
+  Array.iteri
+    (fun i it ->
+      match
+        Query.of_request it.graph it.schedule ~attacker:it.attacker
+          ~safety_period:it.safety_period ~source:it.source
+      with
+      | Some q ->
+        (match Cache.find cache q with
+        | Some a -> results.(i) <- Some a
+        | None ->
+          let key = Query.key q in
+          let j =
+            match Hashtbl.find_opt by_key key with
+            | Some j -> j
+            | None ->
+              let j = new_job it (Some q) in
+              Hashtbl.replace by_key key j;
+              j
+          in
+          assignments_rev := (i, j) :: !assignments_rev)
+      | None -> assignments_rev := (i, new_job it None) :: !assignments_rev)
+    items_arr;
+  let job_arr = Array.of_list (List.rev !jobs_rev) in
+  (* Phase 2 (pool): verify the distinct jobs with pure closures — nothing
+     mutable is captured, so the fan-out is race-free and order-independent. *)
+  let answers =
+    if Array.length job_arr = 0 then [||]
+    else
+      Slpdas_util.Pool.with_pool ~domains (fun pool ->
+          Slpdas_util.Pool.map_array pool
+            (fun (it, _) ->
+              let outcome, explored =
+                Slpdas_core.Verifier.verify_with_stats it.graph it.schedule
+                  ~attacker:it.attacker ~safety_period:it.safety_period
+                  ~source:it.source
+              in
+              { Query.outcome; explored })
+            job_arr)
+  in
+  (* Phase 3 (calling domain): integrate into the cache and scatter to the
+     input positions. *)
+  Array.iteri
+    (fun j (_, q) ->
+      match q with Some q -> Cache.store cache q answers.(j) | None -> ())
+    job_arr;
+  List.iter (fun (i, j) -> results.(i) <- Some answers.(j)) !assignments_rev;
+  Service.account service ~served:n ~computed:(Array.length job_arr);
+  Array.to_list results
+  |> List.map (function
+       | Some a -> a
+       | None -> assert false (* every index is cache-resolved or assigned *))

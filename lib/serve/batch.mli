@@ -1,0 +1,25 @@
+(** Parallel batch answering.
+
+    [run_many] fans a list of verification requests over a domain pool
+    while keeping all cache traffic in the calling domain: cached answers
+    are collected first, the remaining distinct queries (identical requests
+    are deduplicated) are verified in parallel by pure closures, and the
+    fresh answers are then integrated into the cache sequentially.  The
+    output is in input order and byte-for-byte independent of the domain
+    count — the same list a sequential loop over {!Service.verify_stats}
+    would produce. *)
+
+type item = {
+  graph : Slpdas_wsn.Graph.t;
+  schedule : Slpdas_core.Schedule.t;
+  attacker : Slpdas_core.Attacker.params;
+  safety_period : int;
+  source : int;
+}
+
+val run_many : ?domains:int -> Service.t -> item list -> Query.answer list
+(** [run_many ~domains service items] answers every item.  [domains]
+    defaults to 1 (no parallelism, no extra domains spawned).  Uncacheable
+    items (rng-driven deciders) are never deduplicated — each is computed
+    independently, in the pool like everything else.
+    @raise Invalid_argument if [domains < 1]. *)

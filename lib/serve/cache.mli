@@ -1,0 +1,40 @@
+(** Answer memoisation: in-memory LRU plus optional on-disk store.
+
+    The in-memory tier is an LRU over {!Query.key} strings, sized for the
+    working set of a sweep (default 4096 answers — a few MB at worst).  The
+    optional disk tier persists every stored answer as one small file under
+    a caller-supplied directory, named by a stable hash of the key and
+    carrying a versioned header plus the full key, so a partial hash
+    collision or a format change can never alias answers; a warm directory
+    written by one machine serves any other.
+
+    Not domain-safe: one cache belongs to one domain.  Parallel batch
+    verification keeps the cache in the coordinating domain and hands the
+    pool pure closures ({!Batch.run_many}). *)
+
+type t
+
+type stats = {
+  hits : int;  (** answers served from memory *)
+  disk_hits : int;  (** answers served from the disk tier (then promoted) *)
+  misses : int;  (** lookups that found nothing *)
+  stores : int;  (** answers inserted *)
+  evictions : int;  (** LRU evictions from the memory tier *)
+}
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [create ()] is a memory-only cache holding [capacity] (default 4096)
+    answers.  With [~dir], answers are also written to and read from that
+    directory (created if missing).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> Query.t -> Query.answer option
+(** Memory first, then disk (a disk hit is promoted to memory).  An
+    unreadable, truncated or mismatched disk file counts as a miss. *)
+
+val store : t -> Query.t -> Query.answer -> unit
+(** Insert into memory (evicting the least-recently-used entry beyond
+    capacity) and, when a directory is configured, write the answer file
+    atomically (temp file + rename). *)
+
+val stats : t -> stats

@@ -1,0 +1,102 @@
+type decider =
+  | Lowest_slot
+  | History_avoiding
+  | Second_lowest
+
+let decider_name = function
+  | Lowest_slot -> "lowest-slot"
+  | History_avoiding -> "history-avoiding"
+  | Second_lowest -> "second-lowest"
+
+let decider_of_name = function
+  | "lowest-slot" -> Some Lowest_slot
+  | "history-avoiding" -> Some History_avoiding
+  | "second-lowest" -> Some Second_lowest
+  | _ -> None
+
+let decide_fn = function
+  | Lowest_slot -> Slpdas_core.Attacker.lowest_slot
+  | History_avoiding -> Slpdas_core.Attacker.lowest_slot_avoiding_history
+  | Second_lowest -> Slpdas_core.Attacker.second_lowest
+
+type t = {
+  graph_fp : string;
+  sched_digest : string;
+  r : int;
+  h : int;
+  m : int;
+  start : int;
+  decider : decider;
+  safety_period : int;
+  source : int;
+}
+
+let of_request g sched ~attacker ~safety_period ~source =
+  match decider_of_name attacker.Slpdas_core.Attacker.decide_name with
+  | None -> None
+  | Some decider ->
+    Some
+      {
+        graph_fp = Slpdas_wsn.Graph.fingerprint g;
+        sched_digest = Slpdas_core.Schedule.digest sched;
+        r = attacker.Slpdas_core.Attacker.r;
+        h = attacker.Slpdas_core.Attacker.h;
+        m = attacker.Slpdas_core.Attacker.m;
+        start = attacker.Slpdas_core.Attacker.start;
+        decider;
+        safety_period;
+        source;
+      }
+
+let make_attacker decider ~r ~h ~m ~start =
+  Slpdas_core.Attacker.make ~decide:(decide_fn decider)
+    ~decide_name:(decider_name decider) ~r ~h ~m ~start ()
+
+let attacker q = make_attacker q.decider ~r:q.r ~h:q.h ~m:q.m ~start:q.start
+
+let key q =
+  Printf.sprintf "q1|%s|%s|r%d|h%d|m%d|a%d|d%s|p%d|s%d" q.graph_fp
+    q.sched_digest q.r q.h q.m q.start (decider_name q.decider)
+    q.safety_period q.source
+
+let equal a b = String.equal (key a) (key b)
+
+type answer = { outcome : Slpdas_core.Verifier.outcome; explored : int }
+
+let answer_equal a b =
+  a.explored = b.explored
+  &&
+  match (a.outcome, b.outcome) with
+  | Slpdas_core.Verifier.Safe, Slpdas_core.Verifier.Safe -> true
+  | ( Slpdas_core.Verifier.Captured { trace = ta; periods = pa },
+      Slpdas_core.Verifier.Captured { trace = tb; periods = pb } ) ->
+    pa = pb && List.equal Int.equal ta tb
+  | _ -> false
+
+let encode_answer a =
+  match a.outcome with
+  | Slpdas_core.Verifier.Safe -> Printf.sprintf "safe %d" a.explored
+  | Slpdas_core.Verifier.Captured { trace; periods } ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "captured %d %d" periods a.explored);
+    List.iter (fun v -> Buffer.add_string b (Printf.sprintf " %d" v)) trace;
+    Buffer.contents b
+
+let decode_answer line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "safe"; explored ] ->
+    (match int_of_string_opt explored with
+    | Some explored -> Ok { outcome = Slpdas_core.Verifier.Safe; explored }
+    | None -> Error "malformed explored count")
+  | "captured" :: periods :: explored :: (_ :: _ as trace) ->
+    let ints = List.map int_of_string_opt trace in
+    (match (int_of_string_opt periods, int_of_string_opt explored) with
+    | Some periods, Some explored when List.for_all Option.is_some ints ->
+      let trace = List.filter_map Fun.id ints in
+      Ok
+        {
+          outcome = Slpdas_core.Verifier.Captured { trace; periods };
+          explored;
+        }
+    | _ -> Error "malformed capture line")
+  | _ -> Error "unrecognized answer line"

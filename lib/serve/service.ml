@@ -1,0 +1,148 @@
+type t = {
+  cache : Cache.t;
+  (* Certificates are memory-only (a visited-state array does not belong in
+     a byte-stable disk store) and keyed like answers. *)
+  certs : (string, Slpdas_core.Verifier.certificate) Hashtbl.t;
+  mutable n_served : int;
+  mutable n_computed : int;
+  mutable n_incremental : int;
+}
+
+type stats = {
+  served : int;
+  computed : int;
+  incremental : int;
+  cache : Cache.stats;
+}
+
+let create ?capacity ?cache_dir () =
+  {
+    cache = Cache.create ?capacity ?dir:cache_dir ();
+    certs = Hashtbl.create 64;
+    n_served = 0;
+    n_computed = 0;
+    n_incremental = 0;
+  }
+
+let compute t g sched ~attacker ~safety_period ~source =
+  t.n_computed <- t.n_computed + 1;
+  let outcome, explored =
+    Slpdas_core.Verifier.verify_with_stats g sched ~attacker ~safety_period
+      ~source
+  in
+  { Query.outcome; explored }
+
+let verify_stats t g sched ~attacker ~safety_period ~source =
+  t.n_served <- t.n_served + 1;
+  let answer =
+    match Query.of_request g sched ~attacker ~safety_period ~source with
+    | None -> compute t g sched ~attacker ~safety_period ~source
+    | Some q ->
+      (match Cache.find t.cache q with
+      | Some answer -> answer
+      | None ->
+        let answer = compute t g sched ~attacker ~safety_period ~source in
+        Cache.store t.cache q answer;
+        answer)
+  in
+  (answer.Query.outcome, answer.Query.explored)
+
+let verify t g sched ~attacker ~safety_period ~source =
+  fst (verify_stats t g sched ~attacker ~safety_period ~source)
+
+let is_slp_aware t g sched ~attacker ~safety_period ~source =
+  match verify t g sched ~attacker ~safety_period ~source with
+  | Slpdas_core.Verifier.Safe -> true
+  | Slpdas_core.Verifier.Captured _ -> false
+
+let answer_of_certificate cert =
+  {
+    Query.outcome = cert.Slpdas_core.Verifier.cert_outcome;
+    explored = Array.length cert.Slpdas_core.Verifier.cert_visited;
+  }
+
+let verify_certified t g sched ~attacker ~safety_period ~source =
+  t.n_served <- t.n_served + 1;
+  match Query.of_request g sched ~attacker ~safety_period ~source with
+  | None ->
+    t.n_computed <- t.n_computed + 1;
+    Slpdas_core.Verifier.verify_certified g sched ~attacker ~safety_period
+      ~source
+  | Some q ->
+    let key = Query.key q in
+    (match Hashtbl.find_opt t.certs key with
+    | Some cert -> cert
+    | None ->
+      t.n_computed <- t.n_computed + 1;
+      let cert =
+        Slpdas_core.Verifier.verify_certified g sched ~attacker
+          ~safety_period ~source
+      in
+      Hashtbl.replace t.certs key cert;
+      Cache.store t.cache q (answer_of_certificate cert);
+      cert)
+
+type how =
+  | Cached
+  | Unchanged
+  | Incremental of int
+  | Full of int
+
+let reverify t g ~prev sched ~attacker ~safety_period ~source =
+  t.n_served <- t.n_served + 1;
+  let new_query = Query.of_request g sched ~attacker ~safety_period ~source in
+  let store_answer answer =
+    match new_query with
+    | Some q -> Cache.store t.cache q answer
+    | None -> ()
+  in
+  let full () =
+    let answer = compute t g sched ~attacker ~safety_period ~source in
+    store_answer answer;
+    (answer.Query.outcome, Full answer.Query.explored)
+  in
+  match Option.bind new_query (Cache.find t.cache) with
+  | Some answer -> (answer.Query.outcome, Cached)
+  | None ->
+    let baseline =
+      match Query.of_request g prev ~attacker ~safety_period ~source with
+      | None -> None
+      | Some q -> Hashtbl.find_opt t.certs (Query.key q)
+    in
+    (match baseline with
+    | None -> full ()
+    | Some cert ->
+      let changed = Slpdas_core.Verifier.changed_slots prev sched in
+      (match
+         Slpdas_core.Verifier.reverify g sched ~baseline:cert ~changed
+           ~attacker ~safety_period ~source
+       with
+      | outcome, Slpdas_core.Verifier.Unchanged ->
+        (* The edit provably touches no reachable state, so the baseline's
+           explored count carries over exactly and the answer is cacheable. *)
+        store_answer { Query.outcome; explored = Array.length cert.cert_visited };
+        (outcome, Unchanged)
+      | outcome, Slpdas_core.Verifier.Incremental n ->
+        (* The frontier pass proves the verdict but not the full run's
+           explored count, so this answer must not enter the cache (cached
+           answers promise the full count). *)
+        t.n_incremental <- t.n_incremental + 1;
+        (outcome, Incremental n)
+      | outcome, Slpdas_core.Verifier.Full n ->
+        t.n_computed <- t.n_computed + 1;
+        store_answer { Query.outcome; explored = n };
+        (outcome, Full n)))
+
+let stats t =
+  {
+    served = t.n_served;
+    computed = t.n_computed;
+    incremental = t.n_incremental;
+    cache = Cache.stats t.cache;
+  }
+
+let cache (t : t) = t.cache
+
+let account t ~served ~computed =
+  t.n_served <- t.n_served + served;
+  t.n_computed <- t.n_computed + computed

@@ -1,0 +1,105 @@
+(** The verification service: cached, incremental [VerifySchedule].
+
+    One service owns one {!Cache.t} plus an in-memory certificate store and
+    fronts every verification in the process: callers hand it the same
+    arguments they used to hand [Verifier.verify] and get the same answer,
+    with repeated queries served from the cache and locally-edited
+    schedules re-verified incrementally from a prior certificate.
+
+    Uncacheable requests (rng-driven deciders, see {!Query.of_request}) are
+    computed directly every time, so the service is a drop-in front for any
+    attacker.
+
+    Not domain-safe — create one service per domain, or batch through
+    {!Batch.run_many} which keeps all cache traffic in the coordinating
+    domain. *)
+
+type t
+
+type stats = {
+  served : int;  (** requests answered (including uncacheable ones) *)
+  computed : int;  (** full verifications actually run *)
+  incremental : int;  (** requests answered by frontier re-exploration *)
+  cache : Cache.stats;
+}
+
+val create : ?capacity:int -> ?cache_dir:string -> unit -> t
+(** Parameters as {!Cache.create}. *)
+
+val verify_stats :
+  t ->
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  attacker:Slpdas_core.Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  Slpdas_core.Verifier.outcome * int
+(** Drop-in for [Verifier.verify_with_stats]: same outcome, and the
+    explored-state count of whichever full run produced the answer
+    (recomputed or cached). *)
+
+val verify :
+  t ->
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  attacker:Slpdas_core.Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  Slpdas_core.Verifier.outcome
+
+val is_slp_aware :
+  t ->
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  attacker:Slpdas_core.Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  bool
+
+val verify_certified :
+  t ->
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  attacker:Slpdas_core.Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  Slpdas_core.Verifier.certificate
+(** Like {!verify_stats} but additionally retains the certificate (keyed by
+    the query) so a later {!reverify} against an edited copy of [sched] can
+    re-explore only the affected frontier.  Certificates live in memory
+    only; the answer still goes through the cache.  For an uncacheable
+    attacker this degenerates to [Verifier.verify_certified] with no
+    retention. *)
+
+type how =
+  | Cached  (** the edited schedule's answer was already in the cache *)
+  | Unchanged  (** certificate untouched by the edit; verdict stands *)
+  | Incremental of int  (** frontier re-exploration; states expanded *)
+  | Full of int  (** full verification; states explored *)
+
+val reverify :
+  t ->
+  Slpdas_wsn.Graph.t ->
+  prev:Slpdas_core.Schedule.t ->
+  Slpdas_core.Schedule.t ->
+  attacker:Slpdas_core.Attacker.params ->
+  safety_period:int ->
+  source:int ->
+  Slpdas_core.Verifier.outcome * how
+(** [reverify t g ~prev sched …] verifies [sched] given that [prev] was
+    verified earlier (ideally via {!verify_certified} — without a retained
+    certificate this falls back to a full run).  The outcome always equals
+    [Verifier.verify g sched …]; [how] says what it cost.  The new answer
+    is stored in the cache. *)
+
+val stats : t -> stats
+
+(**/**)
+
+val cache : t -> Cache.t
+(** The underlying cache — shared with {!Batch}, which resolves hits and
+    integrates fresh answers in the calling domain. *)
+
+val account : t -> served:int -> computed:int -> unit
+(** Accounting hook for {!Batch}: add a batch's request and computation
+    counts to this service's {!stats}. *)

@@ -1,0 +1,197 @@
+type point = { sd : int; cl : int }
+
+type eval = {
+  point : point;
+  feasible : bool;
+  delta : int;
+  energy_joules : float;
+  within_budget : bool;
+}
+
+type result = {
+  best : (eval * Slpdas_core.Schedule.t) option;
+  evals : eval list;
+}
+
+(* Largest safety period in [0, cap] at which the schedule is Safe, probed
+   by binary search through the service: Safe at p means no capture within
+   p periods, i.e. delta > p, and safety is downward monotone in p.  The
+   certified delta is that largest p plus one (0 when even p = 0
+   captures; cap + 1 when nothing in range does). *)
+let certified_delta service g sched ~attacker ~source ~cap =
+  let safe p =
+    Service.is_slp_aware service g sched ~attacker ~safety_period:p ~source
+  in
+  if not (safe 0) then 0
+  else if safe cap then cap + 1
+  else begin
+    (* Invariant: safe lo, not (safe hi). *)
+    let lo = ref 0 and hi = ref cap in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if safe mid then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+(* Refinement overhead: one search message per node the Phase-2 walk
+   visits, one dissemination broadcast per node whose slot the refinement
+   (including DAS repair) changed. *)
+let refinement_energy g ~das ~(refined : Slpdas_core.Slp_refine.result) =
+  let n = Slpdas_wsn.Graph.n g in
+  let broadcasts = Array.make n 0 in
+  List.iter
+    (fun v -> broadcasts.(v) <- broadcasts.(v) + 1)
+    refined.search_path;
+  List.iter
+    (fun v -> broadcasts.(v) <- broadcasts.(v) + 1)
+    (Slpdas_core.Verifier.changed_slots
+       das.Slpdas_core.Das_build.schedule refined.refined);
+  (Slpdas_exp.Energy.of_broadcasts g ~broadcasts_by_node:broadcasts)
+    .total_joules
+
+(* Score ordering: affordable-and-feasible beats not, then larger delta,
+   then less energy, then the lexicographically least point (a total order,
+   making the climb deterministic). *)
+let better a b =
+  let rank e = if e.feasible && e.within_budget then 1 else 0 in
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c > 0
+  else begin
+    let c = Int.compare a.delta b.delta in
+    if c <> 0 then c > 0
+    else begin
+      let c = Float.compare b.energy_joules a.energy_joules in
+      if c <> 0 then c > 0
+      else begin
+        let c = Int.compare b.point.sd a.point.sd in
+        if c <> 0 then c > 0 else b.point.cl > a.point.cl
+      end
+    end
+  end
+
+let tune ?(seed = 0) ?(restarts = 2) ?(max_evals = 40) ?delta_cap ?gap service
+    g ~das ~attacker ~source ~delta_ss ~budget_joules =
+  if delta_ss < 0 then invalid_arg "Tuner.tune: delta_ss must be >= 0";
+  if Float.compare budget_joules 0.0 < 0 then
+    invalid_arg "Tuner.tune: budget must be >= 0";
+  if restarts < 0 then invalid_arg "Tuner.tune: restarts must be >= 0";
+  if max_evals < 1 then invalid_arg "Tuner.tune: max_evals must be >= 1";
+  let cap =
+    match delta_cap with
+    | Some c -> if c < 0 then invalid_arg "Tuner.tune: delta_cap" else c
+    | None -> 2 * (delta_ss + 1)
+  in
+  let sd_max = max 1 delta_ss in
+  let cl_max = max 1 delta_ss in
+  let evaluated = Hashtbl.create 64 in
+  let point_key p = (p.sd * (cl_max + 2)) + p.cl in
+  let evals_rev = ref [] in
+  let eval_count = ref 0 in
+  let evaluate p =
+    match Hashtbl.find_opt evaluated (point_key p) with
+    | Some cached -> Some cached
+    | None ->
+      if !eval_count >= max_evals then None
+      else begin
+        incr eval_count;
+        (* Per-point refinement randomness derived from the seed: the same
+           (seed, point) always yields the same schedule, hence the same
+           cache keys in the service. *)
+        let rng =
+          Slpdas_util.Rng.create
+            ((seed * 0x3779b9) + (p.sd * 8191) + p.cl)
+        in
+        let outcome =
+          match
+            Slpdas_core.Slp_refine.refine ?gap ~rng g ~das
+              ~search_distance:p.sd ~change_length:p.cl
+          with
+          | None ->
+            ( {
+                point = p;
+                feasible = false;
+                delta = 0;
+                energy_joules = 0.0;
+                within_budget = true;
+              },
+              das.Slpdas_core.Das_build.schedule )
+          | Some refined ->
+            let energy = refinement_energy g ~das ~refined in
+            let delta =
+              certified_delta service g refined.refined ~attacker ~source
+                ~cap
+            in
+            ( {
+                point = p;
+                feasible = true;
+                delta;
+                energy_joules = energy;
+                within_budget = Float.compare energy budget_joules <= 0;
+              },
+              refined.refined )
+        in
+        Hashtbl.replace evaluated (point_key p) outcome;
+        evals_rev := fst outcome :: !evals_rev;
+        Some outcome
+      end
+  in
+  let clip p =
+    { sd = max 1 (min sd_max p.sd); cl = max 1 (min cl_max p.cl) }
+  in
+  let neighbours p =
+    [
+      { p with sd = p.sd - 1 };
+      { p with sd = p.sd + 1 };
+      { p with cl = p.cl - 1 };
+      { p with cl = p.cl + 1 };
+    ]
+    |> List.map clip
+    |> List.filter (fun q -> q.sd <> p.sd || q.cl <> p.cl)
+  in
+  let best = ref None in
+  let consider outcome =
+    match !best with
+    | None -> best := Some outcome
+    | Some (b, _) -> if better (fst outcome) b then best := Some outcome
+  in
+  let rec climb current =
+    match evaluate current with
+    | None -> ()
+    | Some (e, _ as outcome) ->
+      consider outcome;
+      let step =
+        List.fold_left
+          (fun acc q ->
+            match evaluate q with
+            | None -> acc
+            | Some (eq, _ as oq) ->
+              consider oq;
+              (match acc with
+              | Some (ebest, _) when not (better eq ebest) -> acc
+              | _ -> if better eq e then Some (eq, q) else acc))
+          None (neighbours current)
+      in
+      (match step with Some (_, q) -> climb q | None -> ())
+  in
+  (* The paper's rule-of-thumb point first, then seeded restarts. *)
+  let rng = Slpdas_util.Rng.create seed in
+  let start =
+    clip { sd = min 3 sd_max; cl = delta_ss - min 3 sd_max }
+  in
+  climb start;
+  for _ = 1 to restarts do
+    let p =
+      {
+        sd = 1 + Slpdas_util.Rng.int rng sd_max;
+        cl = 1 + Slpdas_util.Rng.int rng cl_max;
+      }
+    in
+    climb (clip p)
+  done;
+  let best =
+    match !best with
+    | Some (e, sched) when e.feasible && e.within_budget -> Some (e, sched)
+    | _ -> None
+  in
+  { best; evals = List.rev !evals_rev }

@@ -1,0 +1,61 @@
+(** Seeded local search over the (SD, CL) refinement space.
+
+    Phases 2–3 of the paper expose two knobs — the search distance [SD]
+    and the decoy-chain change length [CL] — and §VI picks them by rule of
+    thumb ([SD] ∈ {3, 5}, [CL = ∆ss − SD]).  The tuner searches that space
+    for the schedule with the largest {e certified} capture time δ whose
+    refinement overhead fits an energy budget: each candidate point
+    refines the baseline DAS, prices the refinement traffic (search
+    messages plus changed-slot announcements) with {!Slpdas_exp.Energy},
+    and measures δ by binary search over the safety period through the
+    {e cached} verification service — so re-tuning after a cache-warming
+    sweep, or with overlapping restarts, re-verifies nothing.
+
+    Fully deterministic for a given [seed]: refinement randomness is
+    derived per point from the seed, so equal calls return equal results
+    (and hit the same cache keys). *)
+
+type point = { sd : int; cl : int }
+
+type eval = {
+  point : point;
+  feasible : bool;  (** the refinement produced a schedule at this point *)
+  delta : int;
+      (** certified capture time: the attacker cannot capture within
+          [delta - 1] periods; [0] if capture is immediate, capped at
+          [delta_cap + 1] when no capture exists within the probe range *)
+  energy_joules : float;  (** refinement overhead priced by {!Slpdas_exp.Energy} *)
+  within_budget : bool;
+}
+
+type result = {
+  best : (eval * Slpdas_core.Schedule.t) option;
+      (** the max-δ feasible point within budget (ties: least energy, then
+          least (sd, cl)), with its refined schedule; [None] if no
+          evaluated point was feasible and affordable *)
+  evals : eval list;  (** every distinct point evaluated, in search order *)
+}
+
+val tune :
+  ?seed:int ->
+  ?restarts:int ->
+  ?max_evals:int ->
+  ?delta_cap:int ->
+  ?gap:int ->
+  Service.t ->
+  Slpdas_wsn.Graph.t ->
+  das:Slpdas_core.Das_build.result ->
+  attacker:Slpdas_core.Attacker.params ->
+  source:int ->
+  delta_ss:int ->
+  budget_joules:float ->
+  result
+(** [tune service g ~das ~attacker ~source ~delta_ss ~budget_joules] runs a
+    greedy hill-climb from the paper's default point plus [restarts]
+    (default 2) seeded restart points, moving to the best scoring
+    (sd ± 1, cl ± 1) neighbour until none improves, evaluating at most
+    [max_evals] (default 40) distinct points.  [delta_cap] bounds the δ
+    binary search (default [2 × (delta_ss + 1)]); [gap] is passed to
+    {!Slpdas_core.Slp_refine.refine}.  [seed] defaults to 0.
+    @raise Invalid_argument if [delta_ss < 0], [budget_joules < 0], or a
+    count parameter is non-positive. *)

@@ -1,0 +1,39 @@
+(* Two independent 64-bit streams over the same byte sequence:
+
+   - stream [a] is textbook FNV-1a (xor the byte in, multiply by the FNV
+     prime);
+   - stream [b] xors the byte in, rotates by 27 and multiplies by the
+     splitmix64 golden-ratio gamma, so its diffusion pattern shares nothing
+     with FNV's.
+
+   All arithmetic is on Int64 (wrapping), making the digest identical on
+   every platform regardless of the native word size. *)
+
+type t = { mutable a : int64; mutable b : int64 }
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+let mix_offset = 0x9ae16a3b2f90404fL
+let gamma = 0x9e3779b97f4a7c15L
+
+let create () = { a = fnv_offset; b = mix_offset }
+
+let[@inline] rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let[@inline] add_byte t byte =
+  let c = Int64.of_int (byte land 0xff) in
+  t.a <- Int64.mul (Int64.logxor t.a c) fnv_prime;
+  t.b <- Int64.mul (rotl (Int64.logxor t.b c) 27) gamma
+
+let add_int t v =
+  let x = Int64.of_int v in
+  for i = 0 to 7 do
+    add_byte t (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done
+
+let add_string t s =
+  add_int t (String.length s);
+  String.iter (fun c -> add_byte t (Char.code c)) s
+
+let hex t = Printf.sprintf "%016Lx%016Lx" t.a t.b

@@ -1,0 +1,34 @@
+(** Machine-stable streaming digests.
+
+    Cache keys and structural fingerprints (graph fingerprints, schedule
+    digests, on-disk memo stores) must be identical on every machine and
+    OCaml version that computes them: a warm cache written by one build has
+    to be readable by the next.  [Hashtbl.hash] guarantees none of that —
+    its value is explicitly allowed to change between compiler versions and
+    differs between 32- and 64-bit words — so digest-producing code bans it
+    (the [unstable-digest] lint rule) and feeds this hasher instead.
+
+    The digest is a pair of independent 64-bit streams — an FNV-1a
+    accumulator and a rotate-xor-multiply mixer — computed over the exact
+    byte sequence the caller feeds, with all arithmetic on [Int64] so the
+    result is independent of the platform word size.  128 bits keeps the
+    collision probability negligible for cache-sized key populations; this
+    is {e not} a cryptographic hash and offers no adversarial collision
+    resistance. *)
+
+type t
+(** A mutable digest accumulator. *)
+
+val create : unit -> t
+
+val add_int : t -> int -> unit
+(** Feed one OCaml [int], encoded as 8 little-endian bytes of its [Int64]
+    image (so the same value digests identically on any platform). *)
+
+val add_string : t -> string -> unit
+(** Feed a string: its length (as {!add_int}) followed by its bytes, so
+    ["ab","c"] and ["a","bc"] digest differently. *)
+
+val hex : t -> string
+(** The current 128-bit digest as 32 lowercase hex characters.  Reading the
+    digest does not reset the accumulator. *)

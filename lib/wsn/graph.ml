@@ -1,4 +1,12 @@
-type t = { n : int; adj : int array array; num_edges : int }
+type t = {
+  n : int;
+  adj : int array array;
+  num_edges : int;
+  (* Lazily computed structural fingerprint; the adjacency is immutable, so
+     once computed the memo stays valid.  A concurrent double-compute writes
+     the same text twice — benign. *)
+  mutable fingerprint_memo : string option;
+}
 
 module Int_set = Set.Make (Int)
 
@@ -23,7 +31,7 @@ let create ~n edges =
   let num_edges =
     Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2
   in
-  { n; adj; num_edges }
+  { n; adj; num_edges; fingerprint_memo = None }
 
 (* Bulk-build path: adjacency handed over as one CSR pair (offsets +
    targets).  Rows are validated, sliced and kept — no per-vertex sets, no
@@ -55,7 +63,9 @@ let of_csr ~n ~offsets ~targets =
     Array.init n (fun u ->
         Array.sub targets offsets.(u) (offsets.(u + 1) - offsets.(u)))
   in
-  let g = { n; adj; num_edges = Array.length targets / 2 } in
+  let g =
+    { n; adj; num_edges = Array.length targets / 2; fingerprint_memo = None }
+  in
   (* Symmetry check via binary search in the mirror row: O(m log degree). *)
   let rec mem a v lo hi =
     if lo >= hi then false
@@ -274,6 +284,21 @@ let shortest_path g ~src ~dst =
     in
     Some (walk src [])
   end
+
+let fingerprint g =
+  match g.fingerprint_memo with
+  | Some fp -> fp
+  | None ->
+      let h = Slpdas_util.Fnv.create () in
+      Slpdas_util.Fnv.add_int h g.n;
+      Array.iter
+        (fun row ->
+          Slpdas_util.Fnv.add_int h (Array.length row);
+          Array.iter (Slpdas_util.Fnv.add_int h) row)
+        g.adj;
+      let fp = "g1-" ^ Slpdas_util.Fnv.hex h in
+      g.fingerprint_memo <- Some fp;
+      fp
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph with %d vertices, %d edges@]" g.n g.num_edges

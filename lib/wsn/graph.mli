@@ -98,4 +98,13 @@ val shortest_path : t -> src:int -> dst:int -> int list option
 (** [shortest_path g ~src ~dst] is one shortest path [src; ...; dst]
     (lexicographically least among shortest paths), if any. *)
 
+val fingerprint : t -> string
+(** A structural digest of the graph — vertex count plus every sorted
+    adjacency row — stable across machines and OCaml versions (built on
+    {!Slpdas_util.Fnv}, never [Hashtbl.hash]).  Two graphs with the same
+    fingerprint are the same labelled graph for any practical purpose, so
+    the fingerprint can key persistent verification caches.  Computed once
+    and memoized (the structure is immutable); the string starts with a
+    ["g1-"] version tag so future encoding changes cannot alias old keys. *)
+
 val pp : Format.formatter -> t -> unit

@@ -124,6 +124,45 @@ let test_hot_path_hashtbl () =
   check_clean "outside the engine/protocol hot path tables are fine"
     (lint ~path:"lib/core/coverage.ml" "let f n = Hashtbl.create n")
 
+let test_unstable_digest () =
+  check_fires "Hashtbl.hash in lib/serve" "unstable-digest"
+    (lint ~path:"lib/serve/cache.ml" "let key x = Hashtbl.hash x");
+  check_fires "Hashtbl.seeded_hash in lib/core" "unstable-digest"
+    (lint ~path:"lib/core/schedule.ml" "let key x = Hashtbl.seeded_hash 7 x");
+  check_fires "Hashtbl.hash_param in lib/wsn" "unstable-digest"
+    (lint ~path:"lib/wsn/graph.ml" "let key x = Hashtbl.hash_param 10 100 x");
+  check_fires "Marshal bytes as digest input" "unstable-digest"
+    (lint ~path:"lib/serve/cache.ml"
+       "let bytes x = Marshal.to_string x []");
+  check_fires "Marshal to a cache file" "unstable-digest"
+    (lint ~path:"lib/serve/cache.ml"
+       "let save oc x = Marshal.to_channel oc x []");
+  (* Out of scope: the digest-stability contract binds lib/wsn, lib/core
+     and lib/serve; elsewhere the poly-compare rule (lib/) is the only
+     check on Hashtbl.hash, and Marshal is unconstrained. *)
+  check_clean "Marshal outside digest scopes"
+    (lint ~path:"lib/exp/capture.ml" "let bytes x = Marshal.to_string x []");
+  check_clean "Hashtbl.hash outside lib/ entirely"
+    (lint ~path:"bin/fixture.ml" "let key x = Hashtbl.hash x");
+  check_clean "inline allow for a justified site"
+    (lint ~path:"lib/serve/cache.ml"
+       "let key x = Hashtbl.hash x (* slp-lint: allow all *)");
+  (* Allowlist entry format: "<path> unstable-digest" exempts the file. *)
+  let allowlist =
+    match
+      Suppress.parse_allowlist
+        "# in-memory only, never persisted\n\
+         lib/serve/fixture.ml unstable-digest\n\
+         lib/serve/fixture.ml poly-compare\n"
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  let config = { (config ()) with Driver.allowlist } in
+  check_clean "allowlisted file is exempt"
+    (Driver.check_source config ~path:"lib/serve/fixture.ml"
+       ~source:"let key x = Hashtbl.hash x")
+
 let test_no_print () =
   check_fires "Printf.printf" "no-print"
     (lint "let f () = Printf.printf \"%d\" 3");
@@ -272,6 +311,7 @@ let () =
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "poly-eq" `Quick test_poly_eq;
           Alcotest.test_case "hot-path-hashtbl" `Quick test_hot_path_hashtbl;
+          Alcotest.test_case "unstable-digest" `Quick test_unstable_digest;
           Alcotest.test_case "no-print" `Quick test_no_print;
         ] );
       ( "suppression",

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke serve-smoke clean
+.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke couple-smoke serve-smoke clean
 
 build:
 	dune build @all
@@ -58,6 +58,21 @@ scale-smoke:
 	  --domains 2 --json _build/scale_d2.json > /dev/null
 	diff -u _build/scale_d1.json _build/scale_d2.json
 	@echo "scale observables byte-identical for --domains 1 and 2"
+
+# Coupled sharding determinism: a coupled 101x101 run's observables JSON —
+# merged engine counters over the cut-edge mailbox/window machinery — must
+# be byte-identical to the single-cell run whatever the decomposition
+# (--cells 1 vs 4) and wherever the cells execute (--domains 1 vs 2).
+couple-smoke:
+	timeout 120 dune exec bin/slp_das_cli.exe -- scale -d 101 --couple \
+	  --cells 1 --domains 1 --json _build/couple_c1.json > /dev/null
+	timeout 120 dune exec bin/slp_das_cli.exe -- scale -d 101 --couple \
+	  --cells 4 --domains 1 --json _build/couple_c4_d1.json > /dev/null
+	timeout 120 dune exec bin/slp_das_cli.exe -- scale -d 101 --couple \
+	  --cells 4 --domains 2 --json _build/couple_c4_d2.json > /dev/null
+	diff -u _build/couple_c1.json _build/couple_c4_d1.json
+	diff -u _build/couple_c4_d1.json _build/couple_c4_d2.json
+	@echo "coupled observables byte-identical across cell and domain counts"
 
 # Verification service determinism: batch answers (JSON lines on stdout)
 # must be byte-identical across --domains 1 and 2 on cold caches, and a

@@ -1467,6 +1467,172 @@ let scale () =
     with Sys_error _ -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Coupled scale: conservative-window sharding vs sequential engine   *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_COUPLE selects grid dimensions for the coupled-sharding section
+   (comma-separated, like BENCH_SCALE); unset skips it.  The committed
+   bench_results/BENCH_couple.json records the last full
+   BENCH_COUPLE=101,317,1000 run. *)
+let couple_dims =
+  match Sys.getenv_opt "BENCH_COUPLE" with
+  | None | Some "" | Some "0" -> []
+  | Some s ->
+    List.filter_map
+      (fun tok -> int_of_string_opt (String.trim tok))
+      (String.split_on_char ',' s)
+
+let coupled_scale () =
+  section "Coupled sharding: conservative windows vs sequential engine";
+  if couple_dims = [] then
+    print_endline
+      "(skipped: set BENCH_COUPLE=101,317,1000 to time coupled runs; \
+       bench_results/BENCH_couple.json records the last full run)"
+  else begin
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let until = 3.0 in
+    let link = Slpdas_sim.Link_model.Ideal in
+    let records =
+      List.map
+        (fun dim ->
+          Printf.eprintf "[couple] %dx%d...\n%!" dim dim;
+          let topology = Slpdas_wsn.Topology.grid dim in
+          let n = Slpdas_wsn.Graph.n topology.Slpdas_wsn.Topology.graph in
+          (* At least a 2x2 decomposition (4 cells), growing with the grid
+             like the radio-isolated scale section does. *)
+          let cells = max 2 (min 16 (dim / 50)) in
+          let plan =
+            Slpdas_sim.Shard.plan ~cells_x:cells ~cells_y:cells topology
+          in
+          let seq_run () =
+            let e =
+              Slpdas_sim.Shard.sequential_engine ~topology ~link ~seed:1
+                ~program:wave_program ()
+            in
+            Slpdas_sim.Engine.run_until e until;
+            Slpdas_sim.Event.to_json (Slpdas_sim.Engine.counters e)
+          in
+          let coupled_run () =
+            let _, merged =
+              Slpdas_sim.Shard.run_coupled ~domains plan ~link ~seed:1
+                ~program:wave_program ~until
+            in
+            ( Slpdas_sim.Event.to_json merged,
+              merged.Slpdas_sim.Event.broadcasts )
+          in
+          let seq_json = seq_run () in
+          let coupled_json, tx = coupled_run () in
+          (* Paired alternation rather than two best_of series: host load
+             drifts on the scale of a whole series, and timing every
+             sequential pass before every coupled pass lets that drift
+             masquerade as (or mask) speedup.  Alternating keeps each pair
+             under near-identical conditions; best-of-k then discards the
+             loaded iterations of both sides alike.  The correctness
+             captures above double as the warm-up. *)
+          let k = if n >= 1_000_000 then 3 else 5 in
+          let seq_best = ref infinity and coupled_best = ref infinity in
+          for _ = 1 to k do
+            Gc.compact ();
+            let _, s = wall seq_run in
+            Gc.compact ();
+            let _, c = wall coupled_run in
+            seq_best := Float.min !seq_best s;
+            coupled_best := Float.min !coupled_best c
+          done;
+          let seq_s = !seq_best and coupled_s = !coupled_best in
+          ( dim,
+            n,
+            Array.length plan.Slpdas_sim.Shard.cells,
+            plan.Slpdas_sim.Shard.cut_links,
+            seq_s,
+            coupled_s,
+            tx,
+            coupled_json = seq_json ))
+        couple_dims
+    in
+    (* Window-barrier overhead (the reusable-rounds satellite): the same
+       trivial 16-task round run via a prepared Pool.rounds handle vs a
+       fresh Pool.map_array submission per window. *)
+    let windows = 20_000 in
+    let items = Array.init 16 (fun i -> i) in
+    let rounds_s, map_s =
+      Slpdas_util.Pool.with_pool ~domains (fun pool ->
+          let round =
+            Slpdas_util.Pool.rounds pool ~chunk:1 (fun _ -> ()) items
+          in
+          let (), rounds_s =
+            wall (fun () ->
+                for _ = 1 to windows do
+                  Slpdas_util.Pool.run_round round
+                done)
+          in
+          let (), map_s =
+            wall (fun () ->
+                for _ = 1 to windows do
+                  ignore
+                    (Slpdas_util.Pool.map_array pool ~chunk:1
+                       (fun _ -> ())
+                       items)
+                done)
+          in
+          (rounds_s, map_s))
+    in
+    emit ~name:"coupled_scale"
+      ~header:
+        [
+          "grid"; "nodes"; "cells"; "cut links"; "sequential"; "coupled";
+          "speedup"; "identical";
+        ]
+      (List.map
+         (fun (dim, n, ncells, cut, seq_s, coupled_s, _tx, equal) ->
+           [
+             Printf.sprintf "%dx%d" dim dim;
+             string_of_int n;
+             string_of_int ncells;
+             string_of_int cut;
+             Printf.sprintf "%.2f s" seq_s;
+             Printf.sprintf "%.2f s" coupled_s;
+             Printf.sprintf "%.2fx" (seq_s /. coupled_s);
+             (if equal then "yes" else "NO");
+           ])
+         records);
+    Printf.printf
+      "window barrier (%d rounds of 16 tasks): rounds handle %.3f s, \
+       map_array %.3f s (%.2fx)\n"
+      windows rounds_s map_s (map_s /. rounds_s);
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    try
+      let oc = open_out (Filename.concat results_dir "BENCH_couple.json") in
+      output_string oc
+        "{\n  \"unit\": \"seconds, paired alternation, best of k\",\n";
+      Printf.fprintf oc "  \"domains\": %d,\n" domains;
+      Printf.fprintf oc
+        "  \"window_overhead\": {\"windows\": %d, \"tasks\": 16, \
+         \"rounds_s\": %.4f, \"map_array_s\": %.4f},\n"
+        windows rounds_s map_s;
+      output_string oc "  \"grids\": [\n";
+      List.iteri
+        (fun i (dim, n, ncells, cut, seq_s, coupled_s, tx, equal) ->
+          Printf.fprintf oc
+            "    {\"dim\": %d, \"nodes\": %d, \"cells\": %d, \
+             \"cut_links\": %d, \"sequential_s\": %.4f, \"coupled_s\": %.4f, \
+             \"speedup\": %.3f, \"broadcasts\": %d, \
+             \"counters_identical\": %b}%s\n"
+            dim n ncells cut seq_s coupled_s (seq_s /. coupled_s) tx equal
+            (if i = List.length records - 1 then "" else ","))
+        records;
+      output_string oc "  ]\n}\n";
+      close_out oc
+    with Sys_error _ -> ()
+  end
+
 let () =
   Printf.printf
     "SLP-aware DAS benchmark harness (%s mode, base runs = %d)\n%!"
@@ -1491,7 +1657,8 @@ let () =
   if micro_mode then begin
     micro ();
     timed "engine_bench" engine_bench;
-    timed "scale" scale
+    timed "scale" scale;
+    timed "coupled_scale" coupled_scale
   end
   else print_endline "\n(timing sections skipped: BENCH_MICRO=0)";
   print_newline ()

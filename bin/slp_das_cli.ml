@@ -568,7 +568,7 @@ let scale_wave_program ~self =
   { Slpdas_gcn.init; actions = [ go; forward ]; spontaneous = [] }
 
 let scale_cmd =
-  let run dim seed cells domains until json =
+  let run dim seed cells domains until couple json =
     (* Wall-clock reads here only feed the human-readable progress report;
        the --json observables (what scale-smoke diffs) carry no timings. *)
     let wall f =
@@ -617,39 +617,85 @@ let scale_cmd =
     Format.printf "attacker run (Algorithm 1, safety 2n): %.4f s; %s@."
       verify_s outcome;
     let plan = Slpdas_sim.Shard.plan ~cells_x:cells ~cells_y:cells topo in
-    let (per_cell, merged), shard_s =
-      wall (fun () ->
-          Slpdas_sim.Shard.run ?domains plan
-            ~link:Slpdas_sim.Link_model.Ideal ~seed
-            ~program:(fun ~cell:_ ~self -> scale_wave_program ~self)
-            ~until)
-    in
-    Format.printf
-      "sharded run: %d cells (%d cut edges), %.1f s sim in %.3f s wall; %d \
-       broadcasts, %d deliveries@."
-      (Array.length plan.Slpdas_sim.Shard.cells)
-      plan.Slpdas_sim.Shard.cut_edges until shard_s
-      merged.Slpdas_sim.Event.broadcasts merged.Slpdas_sim.Event.deliveries;
-    match json with
-    | None -> ()
-    | Some path ->
-      (* Deterministic observables only (no timings): the same file must be
-         byte-identical for every --domains value — make scale-smoke diffs
-         exactly this. *)
-      let oc = open_out path in
-      Printf.fprintf oc
-        "{\"dim\": %d, \"nodes\": %d, \"edges\": %d, \"period_length\": %d, \
-         \"strong_violations\": %d, \"verify_outcome\": %S, \"cells\": %d, \
-         \"cut_edges\": %d, \"sharded\": %s}\n"
-        dim n
-        (Slpdas_wsn.Graph.num_edges g)
-        (Slpdas_core.Das_build.schedule_length schedule)
-        (List.length strong) outcome
+    if couple then begin
+      let (_, merged), shard_s =
+        wall (fun () ->
+            Slpdas_sim.Shard.run_coupled ?domains plan
+              ~link:Slpdas_sim.Link_model.Ideal ~seed
+              ~program:scale_wave_program ~until)
+      in
+      Format.printf
+        "coupled run: %d cells (%d cut links, %d boundary nodes), %.1f s sim \
+         in %.3f s wall; %d broadcasts, %d deliveries@."
         (Array.length plan.Slpdas_sim.Shard.cells)
-        plan.Slpdas_sim.Shard.cut_edges
-        (Slpdas_sim.Shard.counters_json per_cell merged);
-      close_out oc;
-      Format.printf "scale: wrote %s@." path
+        plan.Slpdas_sim.Shard.cut_links
+        (Slpdas_sim.Shard.boundary_nodes plan)
+        until shard_s merged.Slpdas_sim.Event.broadcasts
+        merged.Slpdas_sim.Event.deliveries;
+      match json with
+      | None -> ()
+      | Some path ->
+        (* Coupled observables are cell-count- and domain-count-invariant
+           (byte-identical to the unsharded sequential engine), so the JSON
+           carries only decomposition-free facts — make couple-smoke diffs
+           exactly this file across --cells and --domains. *)
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\"dim\": %d, \"nodes\": %d, \"edges\": %d, \"period_length\": %d, \
+           \"strong_violations\": %d, \"verify_outcome\": %S, \"coupled\": %s}\n"
+          dim n
+          (Slpdas_wsn.Graph.num_edges g)
+          (Slpdas_core.Das_build.schedule_length schedule)
+          (List.length strong) outcome
+          (Slpdas_sim.Event.to_json merged);
+        close_out oc;
+        Format.printf "scale: wrote %s@." path
+    end
+    else begin
+      let (per_cell, merged), shard_s =
+        wall (fun () ->
+            Slpdas_sim.Shard.run ?domains plan
+              ~link:Slpdas_sim.Link_model.Ideal ~seed
+              ~program:(fun ~cell:_ ~self -> scale_wave_program ~self)
+              ~until)
+      in
+      Format.printf
+        "sharded run: %d cells (%d cut links, %d cut arcs), %.1f s sim in \
+         %.3f s wall; %d broadcasts, %d deliveries@."
+        (Array.length plan.Slpdas_sim.Shard.cells)
+        plan.Slpdas_sim.Shard.cut_links plan.Slpdas_sim.Shard.cut_arcs until
+        shard_s merged.Slpdas_sim.Event.broadcasts
+        merged.Slpdas_sim.Event.deliveries;
+      match json with
+      | None -> ()
+      | Some path ->
+        (* Deterministic observables only (no timings): the same file must be
+           byte-identical for every --domains value — make scale-smoke diffs
+           exactly this. *)
+        let boundary =
+          String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun c -> string_of_int c.Slpdas_sim.Shard.boundary_nodes)
+                  plan.Slpdas_sim.Shard.cells))
+        in
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\"dim\": %d, \"nodes\": %d, \"edges\": %d, \"period_length\": %d, \
+           \"strong_violations\": %d, \"verify_outcome\": %S, \"cells\": %d, \
+           \"cut_edges\": %d, \"cut_links\": %d, \"cut_arcs\": %d, \
+           \"boundary_nodes\": [%s], \"sharded\": %s}\n"
+          dim n
+          (Slpdas_wsn.Graph.num_edges g)
+          (Slpdas_core.Das_build.schedule_length schedule)
+          (List.length strong) outcome
+          (Array.length plan.Slpdas_sim.Shard.cells)
+          plan.Slpdas_sim.Shard.cut_edges plan.Slpdas_sim.Shard.cut_links
+          plan.Slpdas_sim.Shard.cut_arcs boundary
+          (Slpdas_sim.Shard.counters_json per_cell merged);
+        close_out oc;
+        Format.printf "scale: wrote %s@." path
+    end
   in
   let cells_arg =
     Arg.(
@@ -662,6 +708,17 @@ let scale_cmd =
       value & opt float 3.0
       & info [ "until" ] ~docv:"SECS"
           ~doc:"Simulated seconds for the sharded engine run.")
+  in
+  let couple_arg =
+    Arg.(
+      value & flag
+      & info [ "couple" ]
+          ~doc:
+            "Keep cut edges radio-coupled: run the cells as a conservative \
+             parallel discrete-event simulation (lookahead windows, boundary \
+             mailboxes) whose observables are byte-identical to the \
+             unsharded sequential engine at any $(b,--cells) and \
+             $(b,--domains) value.")
   in
   let json_arg =
     Arg.(
@@ -679,7 +736,7 @@ let scale_cmd =
           sharded engine run")
     Term.(
       const run $ dim_arg $ seed_arg $ cells_arg $ domains_arg $ until_arg
-      $ json_arg)
+      $ couple_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)

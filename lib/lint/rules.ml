@@ -78,12 +78,17 @@ let all =
       name = "hot-path-hashtbl";
       summary =
         "Hashtbl.create in the engine/protocol hot paths (lib/sim, \
-         lib/core/protocol.ml): per-node hashtables were the large-grid \
-         scaling bottleneck the struct-of-arrays layout removed; use \
+         lib/core/protocol.ml, lib/util/pool.ml): per-node hashtables were \
+         the large-grid scaling bottleneck the struct-of-arrays layout \
+         removed, and the window-barrier structures (mailboxes, round \
+         handles) run thousands of times per simulated second; use \
          int-indexed flat arrays sized once at create (inline-allow the \
          few justified setup-time tables)";
       applies =
-        (fun p -> under "lib/sim" p || String.equal p "lib/core/protocol.ml");
+        (fun p ->
+          under "lib/sim" p
+          || String.equal p "lib/core/protocol.ml"
+          || String.equal p "lib/util/pool.ml");
     };
     {
       name = "unstable-digest";

@@ -198,7 +198,7 @@ let check_poly_eq ctx f args =
 
 let spawn_target li =
   match tail2 li with
-  | "Pool", ("map" | "map_array") | "Domain", "spawn" -> true
+  | "Pool", ("map" | "map_array" | "rounds") | "Domain", "spawn" -> true
   | _ -> false
 
 (* Every name bound anywhere inside the closure (parameters, lets, match

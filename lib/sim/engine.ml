@@ -22,6 +22,29 @@ type link_cache =
           (* rx_power.(off.(u) + i): u → its i-th neighbour *)
     }
 
+(* Coupled sharding (conservative lookahead windows, see Shard).  A coupled
+   engine hosts one cell of a larger deployment: its nodes keep their global
+   identities ([global_ids]), every RNG draw a node makes comes from that
+   node's own lane (so draw sequences are per-node, not per-schedule), and
+   the cut edges the shard planner kept are materialised as *boundary
+   ports* — per-node CSR rows recording, for each cut neighbour, its
+   position inside the node's full global adjacency row ([ports_pos]), its
+   global id and its coordinates.  A broadcast walks local neighbours and
+   ports merged back into global-row order, so the draw sequence on the
+   sender's lane is exactly the unsharded engine's; deliveries crossing the
+   boundary leave through [send] and re-enter the destination cell via
+   {!ingest_delivery} at a window barrier. *)
+type 'm coupling = {
+  global_ids : int array;  (* local id -> global id, strictly ascending *)
+  lanes : Slpdas_util.Rng.t array;  (* per-local-node RNG lanes *)
+  ports_off : int array;  (* CSR offsets, length n_local + 1 *)
+  ports_pos : int array;  (* position within the node's global adjacency row *)
+  ports_target : int array;  (* global id of the cut neighbour *)
+  ports_x : float array;  (* cut-neighbour coordinates (for link physics) *)
+  ports_y : float array;
+  send : at:float -> src:int -> sseq:int -> target:int -> msg:'m -> unit;
+}
+
 type ('s, 'm) event_kind =
   | Timer_fire of { node : int; timer : Slpdas_gcn.Timer.t; generation : int }
   | Deliver of { node : int; sender : int; msg : 'm }
@@ -33,7 +56,20 @@ type ('s, 'm) event_kind =
          impl pushes (and therefore pops) its singleton events in. *)
   | Callback of (('s, 'm) t -> unit)
 
-and ('s, 'm) event = { at : float; seq : int; kind : ('s, 'm) event_kind }
+and ('s, 'm) event = {
+  at : float;
+  seq : int;
+  (* Stable content-based ordering key, used instead of [seq] as the
+     same-time tiebreaker when the engine is coupled: [k1] is the global id
+     of the node whose processing pushed the event (-1 for harness pushes),
+     [k2] that node's own monotone push counter.  The key depends only on
+     *what* pushed the event, never on the global push schedule, so a
+     coupled cell and the unsharded sequential engine order the same events
+     identically.  Uncoupled engines leave both at 0 and order by [seq]. *)
+  k1 : int;
+  k2 : int;
+  kind : ('s, 'm) event_kind;
+}
 
 and ('s, 'm) t = {
   topology : Slpdas_wsn.Topology.t;
@@ -86,10 +122,39 @@ and ('s, 'm) t = {
          1.0 is a hard link-down.  Applied on top of the base link model. *)
   mutable global_loss : float;
       (* fault layer: network-wide extra loss probability; 0 = inactive *)
+  coupling : 'm coupling option;
+  port_rx : float array;
+      (* Fast + Gaussian + coupling: precomputed rx power for each boundary
+         port, aligned with [ports_target]; same float expression as the
+         local link cache, so cut-edge verdicts are bit-identical to the
+         unsharded engine's. *)
+  sseq : int array;  (* coupled: per-local-node push counters (the k2 lane) *)
+  mutable harness_sseq : int;  (* coupled: push counter of the -1 lane *)
+  mutable cur_src : int;
+      (* local id of the node whose effects are being applied; -1 when the
+         harness (schedule/callback) is pushing *)
+  mutable cur_k1 : int;  (* stable key of the event being processed *)
+  mutable cur_k2 : int;
 }
 
 let compare_events a b =
   match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+
+(* Coupled ordering: (at, k1, k2) is schedule-independent and unique per
+   event ((k1, k2) alone never repeats), so the [seq] fallback is a pure
+   safety net for totality. *)
+let compare_events_stable a b =
+  match Float.compare a.at b.at with
+  | 0 -> (
+    match Int.compare a.k1 b.k1 with
+    | 0 -> (
+      match Int.compare a.k2 b.k2 with 0 -> Int.compare a.seq b.seq | c -> c)
+    | c -> c)
+  | c -> c
+
+(* Observable node identity: a coupled engine reports global ids on the
+   event bus while indexing instances/state by local id. *)
+let gid t v = match t.coupling with None -> v | Some c -> c.global_ids.(v)
 
 let time t = t.now
 
@@ -145,7 +210,9 @@ let set_link_loss t ~a ~b loss =
   let lo, hi = link_key a b in
   if loss > 0.0 then Hashtbl.replace t.link_overrides (lo, hi) loss
   else Hashtbl.remove t.link_overrides (lo, hi);
-  emit t (Event.Link_changed { time = t.now; a = lo; b = hi; loss })
+  (* Local ids ascend with global ids, so (gid lo, gid hi) is still the
+     canonical (min, max) rendering of the edge. *)
+  emit t (Event.Link_changed { time = t.now; a = gid t lo; b = gid t hi; loss })
 
 let link_loss t ~a ~b =
   Option.value ~default:0.0 (Hashtbl.find_opt t.link_overrides (link_key a b))
@@ -168,20 +235,49 @@ let faults_active t =
    degenerate probabilities, so a hard link-down (loss = 1) costs no draw,
    and an edge-override drop short-circuits the global draw in both impls
    alike. *)
-let fault_dropped t u v =
+let fault_dropped t rng u v =
   (match Hashtbl.find_opt t.link_overrides (link_key u v) with
-  | Some p -> Slpdas_util.Rng.bernoulli t.rng p
+  | Some p -> Slpdas_util.Rng.bernoulli rng p
   | None -> false)
-  || (t.global_loss > 0.0 && Slpdas_util.Rng.bernoulli t.rng t.global_loss)
+  || (t.global_loss > 0.0 && Slpdas_util.Rng.bernoulli rng t.global_loss)
 
 let push t ~at kind =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Slpdas_util.Heap.push t.queue { at; seq; kind }
+  let k1, k2 =
+    match t.coupling with
+    | None -> (0, 0)
+    | Some c ->
+      let src = t.cur_src in
+      if src >= 0 then begin
+        let s = t.sseq.(src) in
+        t.sseq.(src) <- s + 1;
+        (c.global_ids.(src), s)
+      end
+      else begin
+        let s = t.harness_sseq in
+        t.harness_sseq <- s + 1;
+        (-1, s)
+      end
+  in
+  Slpdas_util.Heap.push t.queue { at; seq; k1; k2; kind }
+
+(* Push with an explicit stable key: a boundary delivery carries the key its
+   sender's cell assigned, which is the key the unsharded engine would have
+   assigned to the same push. *)
+let push_keyed t ~at ~k1 ~k2 kind =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Slpdas_util.Heap.push t.queue { at; seq; k1; k2; kind }
 
 let schedule t ~at f =
   if at < t.now then invalid_arg "Engine.schedule: time is in the past";
-  push t ~at (Callback f)
+  (* Harness pushes take the -1 key lane even when a node's callback-driven
+     effects are on the stack, so keys depend only on who schedules. *)
+  let prev = t.cur_src in
+  t.cur_src <- -1;
+  push t ~at (Callback f);
+  t.cur_src <- prev
 
 (* Reference timer bookkeeping: a string-keyed hashtable probe per
    operation, kept verbatim as the differential-testing baseline. *)
@@ -331,24 +427,31 @@ let jammed t ~node ~sender ~tx_time =
       scan 0)
 
 let rec apply_effects t node effects =
+  (* Every push below is attributed to [node]'s key lane; restored on exit
+     so harness callbacks resume pushing on the -1 lane. *)
+  let prev_src = t.cur_src in
+  t.cur_src <- node;
   List.iter
     (fun effect_ ->
       match (effect_ : 'm Slpdas_gcn.effect_) with
-      | Slpdas_gcn.Broadcast msg ->
+      | Slpdas_gcn.Broadcast msg -> (
         Event.count_broadcast t.tally ~time:t.now;
         t.broadcast_by_node.(node) <- t.broadcast_by_node.(node) + 1;
         record_broadcast t node;
         if listening t then
-          notify t (Event.Broadcast { time = t.now; sender = node; msg });
+          notify t (Event.Broadcast { time = t.now; sender = gid t node; msg });
         let faults = faults_active t in
-        (match t.impl with
+        match t.coupling with
+        | Some c -> coupled_broadcast t c node msg ~faults
+        | None -> (
+        match t.impl with
         | Reference ->
           Array.iter
             (fun v ->
               if
                 Link_model.delivered t.link t.rng
                   ~distance_m:(distance t node v)
-                && not (faults && fault_dropped t node v)
+                && not (faults && fault_dropped t t.rng node v)
               then
                 push t
                   ~at:(t.now +. propagation_delay)
@@ -385,7 +488,7 @@ let rec apply_effects t node effects =
              the reference path's [&&] exactly (same conditional draws, same
              adjacency order). *)
           let keep v =
-            if faults && fault_dropped t node v then drop v
+            if faults && fault_dropped t t.rng node v then drop v
             else if batch then begin
               Array.unsafe_set scratch !count v;
               incr count
@@ -423,13 +526,107 @@ let rec apply_effects t node effects =
             push t
               ~at:(t.now +. propagation_delay)
               (Deliver_batch
-                 { sender = node; recipients = Array.sub scratch 0 !count; msg }))
+                 { sender = node; recipients = Array.sub scratch 0 !count; msg })))
       | Slpdas_gcn.Set_timer { timer; after } ->
         let generation = bump_timer_generation t node timer in
         push t ~at:(t.now +. after) (Timer_fire { node; timer; generation })
       | Slpdas_gcn.Stop_timer timer ->
         ignore (bump_timer_generation t node timer))
-    effects
+    effects;
+  t.cur_src <- prev_src
+
+(* Coupled broadcast: walk the sender's local neighbours and boundary ports
+   merged back into global-adjacency-row order ([ports_pos] marks the slots
+   ports occupy; local neighbours, whose ascending local ids ascend globally
+   too, fill the rest in order).  Every verdict draws from the sender's own
+   lane, so the draw sequence is exactly the one the unsharded engine makes
+   for this node's full row — whatever other cells are doing.  Deliveries
+   stay singleton events (never batched) because a batch event would carry
+   only its first delivery's stable key. *)
+and coupled_broadcast t c node msg ~faults =
+  let lane = c.lanes.(node) in
+  let gnode = c.global_ids.(node) in
+  let nbrs = t.neighbours.(node) in
+  let p_lo = c.ports_off.(node) and p_hi = c.ports_off.(node + 1) in
+  let total = Array.length nbrs + (p_hi - p_lo) in
+  let at = t.now +. propagation_delay in
+  let x1, y1 = t.topology.Slpdas_wsn.Topology.positions.(node) in
+  let drop gv =
+    Event.count_drop t.tally ~collision:false ~time:t.now;
+    if listening t then
+      notify t
+        (Event.Drop { time = t.now; node = gv; sender = gnode; collision = false })
+  in
+  let li = ref 0 and pi = ref p_lo in
+  for pos = 0 to total - 1 do
+    if !pi < p_hi && Array.unsafe_get c.ports_pos !pi = pos then begin
+      (* Cut neighbour. *)
+      let i = !pi in
+      incr pi;
+      let target = Array.unsafe_get c.ports_target i in
+      let delivered =
+        match t.impl with
+        | Reference ->
+          Link_model.delivered t.link lane
+            ~distance_m:
+              (sqrt
+                 (((x1 -. c.ports_x.(i)) ** 2.0)
+                 +. ((y1 -. c.ports_y.(i)) ** 2.0)))
+        | Fast -> (
+          match t.link_cache with
+          | Always_delivered -> true
+          | Never_delivered -> false
+          | Bernoulli_loss p -> not (Slpdas_util.Rng.bernoulli lane p)
+          | Gaussian_rx { noise_mean; noise_std; snr_threshold; _ } ->
+            let noise =
+              Slpdas_util.Rng.gaussian lane ~mean:noise_mean ~std:noise_std
+            in
+            Array.unsafe_get t.port_rx i -. noise >= snr_threshold)
+      in
+      if not delivered then drop target
+      else if
+        (* Cut-edge link overrides are unsupported (Shard validates before a
+           coupled run); only the network-wide loss floor applies, drawn
+           from the sender's lane exactly as the unsharded engine draws it
+           when no per-edge override matches. *)
+        faults
+        && t.global_loss > 0.0
+        && Slpdas_util.Rng.bernoulli lane t.global_loss
+      then drop target
+      else begin
+        (* The counter bump keeps this node's k2 numbering aligned with the
+           unsharded engine, where this delivery is a local push. *)
+        let s = t.sseq.(node) in
+        t.sseq.(node) <- s + 1;
+        c.send ~at ~src:gnode ~sseq:s ~target ~msg
+      end
+    end
+    else begin
+      let l = !li in
+      incr li;
+      let v = Array.unsafe_get nbrs l in
+      let delivered =
+        match t.impl with
+        | Reference ->
+          Link_model.delivered t.link lane ~distance_m:(distance t node v)
+        | Fast -> (
+          match t.link_cache with
+          | Always_delivered -> true
+          | Never_delivered -> false
+          | Bernoulli_loss p -> not (Slpdas_util.Rng.bernoulli lane p)
+          | Gaussian_rx { noise_mean; noise_std; snr_threshold; off; rx_power }
+            ->
+            let noise =
+              Slpdas_util.Rng.gaussian lane ~mean:noise_mean ~std:noise_std
+            in
+            Array.unsafe_get rx_power (Array.unsafe_get off node + l) -. noise
+            >= snr_threshold)
+      in
+      if not delivered then drop c.global_ids.(v)
+      else if faults && fault_dropped t lane node v then drop c.global_ids.(v)
+      else push t ~at (Deliver { node = v; sender = gnode; msg })
+    end
+  done
 
 and inject t ~node trigger =
   (* Crash-stop failures: a failed node neither processes triggers nor emits
@@ -461,7 +658,7 @@ let fail_node t v =
       Hashtbl.filter_map_inplace
         (fun (node, _) g -> if node = v then Some (g + 1) else Some g)
         t.timer_generations);
-    emit t (Event.Node_failed { time = t.now; node = v })
+    emit t (Event.Node_failed { time = t.now; node = gid t v })
   end
 
 let revive_node t v =
@@ -473,11 +670,12 @@ let revive_node t v =
        state, so a brand-new instance runs [init] (and its spontaneous
        fixpoint) at the current time.  In-flight deliveries queued before
        the crash reach the fresh instance — identically in both impls. *)
+    let self = gid t v in
     let instance, effects =
-      Slpdas_gcn.Instance.create (t.program ~self:v) ~self:v
+      Slpdas_gcn.Instance.create (t.program ~self) ~self
     in
     t.instances.(v) <- instance;
-    emit t (Event.Node_revived { time = t.now; node = v });
+    emit t (Event.Node_revived { time = t.now; node = self });
     apply_effects t v effects
   end
 
@@ -529,12 +727,63 @@ let build_link_cache ~impl ~topology ~link ~neighbours =
 let default_batch_cutover = 1024
 
 let create ?(impl = Fast) ?(batch_cutover = default_batch_cutover) ?airtime
-    ~topology ~link ~rng ~program () =
+    ?coupling ~topology ~link ~rng ~program () =
   let graph = topology.Slpdas_wsn.Topology.graph in
   let n = Slpdas_wsn.Graph.n graph in
-  let queue = Slpdas_util.Heap.create ~cmp:compare_events in
+  (match (coupling, airtime) with
+  | Some _, Some _ ->
+    invalid_arg
+      "Engine.create: coupling is incompatible with airtime interference (a \
+       transmission jams same-timestamp receptions across the cell boundary, \
+       so the conservative lookahead window would be zero)"
+  | _ -> ());
+  (match coupling with
+  | None -> ()
+  | Some c ->
+    if Array.length c.global_ids <> n then
+      invalid_arg "Engine.create: coupling.global_ids must cover every node";
+    if Array.length c.lanes <> n then
+      invalid_arg "Engine.create: coupling.lanes must cover every node";
+    if Array.length c.ports_off <> n + 1 then
+      invalid_arg "Engine.create: coupling.ports_off must have n + 1 offsets");
+  let cmp =
+    match coupling with
+    | None -> compare_events
+    | Some _ -> compare_events_stable
+  in
+  let queue = Slpdas_util.Heap.create ~cmp in
+  let self_of v =
+    match coupling with None -> v | Some c -> c.global_ids.(v)
+  in
   let boot =
-    Array.init n (fun v -> Slpdas_gcn.Instance.create (program ~self:v) ~self:v)
+    Array.init n (fun v ->
+        let self = self_of v in
+        Slpdas_gcn.Instance.create (program ~self) ~self)
+  in
+  (* Cut-edge rx powers for the Fast Gaussian path, computed with the same
+     float expression as the local link cache so boundary verdicts match the
+     unsharded engine's bit-for-bit. *)
+  let port_rx =
+    match (impl, coupling) with
+    | Fast, Some c -> (
+      match Link_model.prepare link with
+      | Link_model.Static _ | Link_model.Bernoulli _ -> [||]
+      | Link_model.Snr { rx_power_dbm; _ } ->
+        let positions = topology.Slpdas_wsn.Topology.positions in
+        let pr = Array.make (Array.length c.ports_target) 0.0 in
+        for u = 0 to n - 1 do
+          let x1, y1 = positions.(u) in
+          for i = c.ports_off.(u) to c.ports_off.(u + 1) - 1 do
+            pr.(i) <-
+              rx_power_dbm
+                ~distance_m:
+                  (sqrt
+                     (((x1 -. c.ports_x.(i)) ** 2.0)
+                     +. ((y1 -. c.ports_y.(i)) ** 2.0)))
+          done
+        done;
+        pr)
+    | _ -> [||]
   in
   let neighbours = Array.init n (Slpdas_wsn.Graph.neighbours graph) in
   let max_degree =
@@ -573,7 +822,13 @@ let create ?(impl = Fast) ?(batch_cutover = default_batch_cutover) ?airtime
       gen_stride = (match impl with Fast -> timer_slots | Reference -> 0);
       link_cache = build_link_cache ~impl ~topology ~link ~neighbours;
       neighbours;
-      batch_deliveries = (match impl with Fast -> n > batch_cutover | Reference -> false);
+      batch_deliveries =
+        (* Coupled engines never batch: a batch event would carry only its
+           first delivery's stable key, breaking the schedule-independent
+           interleave with other senders' events. *)
+        (match (impl, coupling) with
+        | Fast, None -> n > batch_cutover
+        | _ -> false);
       scratch = Array.make max_degree 0;
       now = 0.0;
       next_seq = 0;
@@ -587,26 +842,49 @@ let create ?(impl = Fast) ?(batch_cutover = default_batch_cutover) ?airtime
            active.  (* slp-lint: allow hot-path-hashtbl *) *)
         Hashtbl.create 8;
       global_loss = 0.0;
+      coupling;
+      port_rx;
+      sseq = (match coupling with Some _ -> Array.make n 0 | None -> [||]);
+      harness_sseq = 0;
+      cur_src = -1;
+      cur_k1 = -1;
+      cur_k2 = -1;
     }
   in
-  Array.iteri (fun v (_, effects) -> apply_effects t v effects) boot;
+  Array.iteri
+    (fun v (_, effects) ->
+      (* Boot emissions are observed under the boot key (global id, -1) —
+         the same key whatever order cells boot their nodes in.  (Pushes
+         made during boot take the node's own sseq lane via [push].) *)
+      t.cur_k1 <- self_of v;
+      t.cur_k2 <- -1;
+      apply_effects t v effects)
+    boot;
+  t.cur_k1 <- -1;
+  t.cur_k2 <- -1;
   t
 
+(* [sender] is already an observable id: global ids are stored in [Deliver]
+   events at push time under coupling, local (= global) ids otherwise. *)
 let deliver_one t ~node ~sender ~tx_time msg =
   if jammed t ~node ~sender ~tx_time then begin
     Event.count_drop t.tally ~collision:true ~time:t.now;
     if listening t then
-      notify t (Event.Drop { time = t.now; node; sender; collision = true })
+      notify t
+        (Event.Drop
+           { time = t.now; node = gid t node; sender; collision = true })
   end
   else begin
     Event.count_delivery t.tally ~time:t.now;
     if listening t then
-      notify t (Event.Delivery { time = t.now; node; sender; msg });
+      notify t (Event.Delivery { time = t.now; node = gid t node; sender; msg });
     inject t ~node (Slpdas_gcn.Receive { sender; msg })
   end
 
 let process t event =
   t.now <- event.at;
+  t.cur_k1 <- event.k1;
+  t.cur_k2 <- event.k2;
   match event.kind with
   | Timer_fire { node; timer; generation } ->
     (* Stale fires (superseded by a later Set/Stop_timer) are dropped
@@ -616,7 +894,11 @@ let process t event =
       if listening t then
         notify t
           (Event.Timer_fire
-             { time = t.now; node; timer = Slpdas_gcn.Timer.name timer });
+             {
+               time = t.now;
+               node = gid t node;
+               timer = Slpdas_gcn.Timer.name timer;
+             });
       inject t ~node (Slpdas_gcn.Timeout timer)
     end
   | Deliver { node; sender; msg } ->
@@ -654,3 +936,37 @@ let run_until t deadline =
     end
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Conservative-window driving surface (coupled sharding)             *)
+(* ------------------------------------------------------------------ *)
+
+let next_event_time t =
+  match Slpdas_util.Heap.peek t.queue with
+  | Some event -> Some event.at
+  | None -> None
+
+let run_window t ~stop_before ~deadline =
+  let rec loop () =
+    if t.halted then ()
+    else
+      match Slpdas_util.Heap.peek t.queue with
+      | Some event when event.at < stop_before && event.at <= deadline ->
+        ignore (Slpdas_util.Heap.pop t.queue);
+        process t event;
+        loop ()
+      | Some _ | None -> ()
+  in
+  loop ()
+
+let advance_to t time = if not t.halted then t.now <- max t.now time
+
+let ingest_delivery t ~at ~src ~sseq ~node ~msg =
+  (match t.coupling with
+  | None -> invalid_arg "Engine.ingest_delivery: engine is not coupled"
+  | Some _ -> ());
+  if node < 0 || node >= Array.length t.failed then
+    invalid_arg "Engine.ingest_delivery: node out of range";
+  push_keyed t ~at ~k1:src ~k2:sseq (Deliver { node; sender = src; msg })
+
+let processing_key t = (t.cur_k1, t.cur_k2)

@@ -32,6 +32,43 @@ type ('s, 'm) t
     exists as that oracle and as the benchmark baseline. *)
 type impl = Fast | Reference
 
+val propagation_delay : float
+(** Uniform link latency in seconds between a transmission and its arrivals.
+    Also the conservative lookahead horizon of coupled sharded runs: an
+    event processed at time [s] can influence another cell no earlier than
+    [s + propagation_delay], so cells may run [propagation_delay]-wide
+    windows independently and exchange boundary deliveries at barriers. *)
+
+(** Coupled-cell wiring (built by {!Shard}): the engine hosts one cell of a
+    larger deployment whose cut edges were kept as boundary ports.
+
+    [global_ids.(v)] is local node [v]'s identity in the base deployment
+    (strictly ascending, so local order is global order); programs are
+    booted with the {e global} self and every event on the bus reports
+    global ids.  [lanes.(v)] is the node's private RNG stream: all draws a
+    broadcast by [v] makes (link verdicts, fault-layer draws) come from it,
+    in full global-adjacency-row order — local neighbours and ports merged
+    back into their original positions via [ports_pos] — so the draw
+    sequence depends only on [v]'s own broadcast history, never on the cell
+    decomposition.  [ports_off] is a CSR row index (length [n + 1]) into the
+    flat port arrays; [ports_target]/[ports_x]/[ports_y] give each cut
+    neighbour's global id and coordinates.  [send] is invoked for every
+    boundary delivery with the absolute arrival time, the {e global} sender
+    id, the sender's push counter (the stable-key [k2] the unsharded engine
+    would have assigned) and the {e global} target id; the hosting shard
+    buffers it for {!ingest_delivery} into the destination cell at the next
+    window barrier. *)
+type 'm coupling = {
+  global_ids : int array;
+  lanes : Slpdas_util.Rng.t array;
+  ports_off : int array;
+  ports_pos : int array;
+  ports_target : int array;
+  ports_x : float array;
+  ports_y : float array;
+  send : at:float -> src:int -> sseq:int -> target:int -> msg:'m -> unit;
+}
+
 val default_batch_cutover : int
 (** Node count above which the [Fast] impl folds each broadcast's arrivals
     into one batch event; at or below it, singleton delivery events are
@@ -44,6 +81,7 @@ val create :
   ?impl:impl ->
   ?batch_cutover:int ->
   ?airtime:float ->
+  ?coupling:'m coupling ->
   topology:Slpdas_wsn.Topology.t ->
   link:Link_model.t ->
   rng:Slpdas_util.Rng.t ->
@@ -68,7 +106,19 @@ val create :
     violating the 2-hop collision-freedom of Def. 1 measurably lose data
     while collision-free ones do not.  Omitted (default), transmissions are
     instantaneous and never interfere, matching the paper's ideal
-    communication model. *)
+    communication model.
+
+    [coupling] hosts the topology as one cell of a larger deployment (see
+    {!type:coupling}): programs boot with global selves, events report
+    global ids, same-time events are ordered by the schedule-independent
+    stable key [(k1, k2)] instead of push order, every node draws from its
+    own RNG lane ([rng] is then unused), and deliveries never batch.  A
+    coupled run driven through {!run_window}/{!ingest_delivery} barriers is
+    byte-identical to the unsharded sequential engine built with the
+    identity coupling over the base deployment.
+    @raise Invalid_argument if [coupling] is combined with [airtime]
+    (cross-boundary interference has zero latency, so no positive lookahead
+    window exists), or if the coupling arrays do not cover the topology. *)
 
 val time : ('s, 'm) t -> float
 (** Current simulation time in seconds. *)
@@ -180,3 +230,47 @@ val run_until : ('s, 'm) t -> float -> unit
 (** [run_until t deadline] processes events with time ≤ [deadline] (or until
     {!stop} / queue exhaustion) and advances the clock to [deadline] if not
     stopped early. *)
+
+(** {2 Conservative windows (coupled sharding)}
+
+    The driving surface {!Shard.run_coupled} uses: cells repeatedly run the
+    half-open window [\[t_next, t_next + propagation_delay)] — where
+    [t_next] is the minimum {!next_event_time} over all cells — then
+    exchange the boundary deliveries their [send] hooks produced via
+    {!ingest_delivery} at the barrier.  Any event processed inside the
+    window sends cross-boundary arrivals no earlier than the window's end,
+    so every cell always holds {e all} of its events below the window bound
+    before running it — the classic null-message-free conservative
+    guarantee. *)
+
+val next_event_time : ('s, 'm) t -> float option
+(** Timestamp of the earliest pending event, if any. *)
+
+val run_window : ('s, 'm) t -> stop_before:float -> deadline:float -> unit
+(** [run_window t ~stop_before ~deadline] processes events with
+    time < [stop_before] and time ≤ [deadline], in queue order, without
+    advancing the clock past the last processed event (use {!advance_to}
+    once the whole coupled run is over). *)
+
+val advance_to : ('s, 'm) t -> float -> unit
+(** Advance the clock to [max now time] (no-op when stopped), mirroring the
+    final clock advance of {!run_until}. *)
+
+val ingest_delivery :
+  ('s, 'm) t -> at:float -> src:int -> sseq:int -> node:int -> msg:'m -> unit
+(** [ingest_delivery t ~at ~src ~sseq ~node ~msg] enqueues a boundary
+    delivery produced by a neighbouring cell's [send] hook: a [Deliver]
+    event at absolute time [at] for {e local} node [node] from {e global}
+    sender [src], keyed [(src, sseq)] — the stable key the unsharded engine
+    assigned to the same push, so the destination heap interleaves it
+    exactly where the sequential run would.
+    @raise Invalid_argument on an uncoupled engine or if [node] is out of
+    range. *)
+
+val processing_key : ('s, 'm) t -> int * int
+(** Stable key [(k1, k2)] of the event currently being processed — during
+    boot, [(global id, -1)] of the booting node; [(-1, _)] under harness
+    callbacks.  Observers use it to merge per-cell event streams into the
+    sequential emission order: sorting buffered emissions by
+    [(time, k1, k2, buffer position)] reproduces the unsharded engine's
+    order for all node-sourced events. *)

@@ -1,0 +1,95 @@
+(* Deterministic boundary mailbox for coupled sharding: one per directed
+   cell pair with at least one cut arc.  Struct-of-arrays growable buffer —
+   flat unboxed rows for the numeric fields, one 'm row for payloads — so a
+   window's worth of boundary traffic costs amortised-zero allocations
+   (hot-path-hashtbl discipline: no per-entry boxes, no hashtables).
+
+   Single-writer/single-reader by construction: only the source cell's
+   domain pushes (during its window), only the coordinator drains (at the
+   barrier); the pool's barrier provides the happens-before edge between
+   the two. *)
+
+type 'm t = {
+  mutable at : float array;
+  mutable src : int array;
+  mutable sseq : int array;
+  mutable node : int array;  (* destination-local node id *)
+  mutable msg : 'm array;
+  mutable len : int;
+}
+
+let create () =
+  { at = [||]; src = [||]; sseq = [||]; node = [||]; msg = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t m =
+  let cap = Array.length t.at in
+  let cap' = max 8 (2 * cap) in
+  let at' = Array.make cap' 0.0
+  and src' = Array.make cap' 0
+  and sseq' = Array.make cap' 0
+  and node' = Array.make cap' 0
+  and msg' = Array.make cap' m in
+  Array.blit t.at 0 at' 0 t.len;
+  Array.blit t.src 0 src' 0 t.len;
+  Array.blit t.sseq 0 sseq' 0 t.len;
+  Array.blit t.node 0 node' 0 t.len;
+  Array.blit t.msg 0 msg' 0 t.len;
+  t.at <- at';
+  t.src <- src';
+  t.sseq <- sseq';
+  t.node <- node';
+  t.msg <- msg'
+
+let push t ~at ~src ~sseq ~node ~msg =
+  if t.len = Array.length t.at then grow t msg;
+  let i = t.len in
+  t.at.(i) <- at;
+  t.src.(i) <- src;
+  t.sseq.(i) <- sseq;
+  t.node.(i) <- node;
+  t.msg.(i) <- msg;
+  t.len <- i + 1
+
+(* (at, src, sseq) lexicographic order of entries [i] and [j]. *)
+let entry_cmp t i j =
+  match Float.compare t.at.(i) t.at.(j) with
+  | 0 -> (
+    match Int.compare t.src.(i) t.src.(j) with
+    | 0 -> Int.compare t.sseq.(i) t.sseq.(j)
+    | c -> c)
+  | c -> c
+
+let sorted t =
+  let rec check i = i >= t.len || (entry_cmp t (i - 1) i <= 0 && check (i + 1)) in
+  check 1
+
+(* Entries arrive already sorted — the source cell pushes in processing
+   order, which is (time, src, sseq) order — so the sort below is a pure
+   safety net; a linear scan guards it. *)
+let sort t =
+  if not (sorted t) then begin
+    let perm = Array.init t.len (fun i -> i) in
+    Array.sort (entry_cmp t) perm;
+    let at' = Array.init t.len (fun i -> t.at.(perm.(i)))
+    and src' = Array.init t.len (fun i -> t.src.(perm.(i)))
+    and sseq' = Array.init t.len (fun i -> t.sseq.(perm.(i)))
+    and node' = Array.init t.len (fun i -> t.node.(perm.(i)))
+    and msg' = Array.init t.len (fun i -> t.msg.(perm.(i))) in
+    Array.blit at' 0 t.at 0 t.len;
+    Array.blit src' 0 t.src 0 t.len;
+    Array.blit sseq' 0 t.sseq 0 t.len;
+    Array.blit node' 0 t.node 0 t.len;
+    Array.blit msg' 0 t.msg 0 t.len
+  end
+
+let drain t f =
+  if t.len > 0 then begin
+    sort t;
+    for i = 0 to t.len - 1 do
+      f ~at:t.at.(i) ~src:t.src.(i) ~sseq:t.sseq.(i) ~node:t.node.(i)
+        ~msg:t.msg.(i)
+    done;
+    t.len <- 0
+  end

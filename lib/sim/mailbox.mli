@@ -1,0 +1,31 @@
+(** Deterministic boundary mailbox for coupled sharded runs.
+
+    One mailbox per directed cell pair with at least one cut arc: the source
+    cell's {!Engine.coupling} [send] hook pushes every boundary delivery it
+    produces during a lookahead window; at the window barrier the
+    coordinator drains the box — in [(time, src, sseq)] order, so the merge
+    is independent of how work was scheduled — into the destination cell via
+    {!Engine.ingest_delivery}.
+
+    The buffer is a growable struct-of-arrays (flat unboxed rows, no
+    per-entry allocation), written by exactly one domain per window and read
+    only after the barrier. *)
+
+type 'm t
+
+val create : unit -> 'm t
+
+val length : 'm t -> int
+(** Entries currently buffered. *)
+
+val push : 'm t -> at:float -> src:int -> sseq:int -> node:int -> msg:'m -> unit
+(** Append a boundary delivery: arrival time [at], {e global} sender [src],
+    the sender's stable-key counter [sseq], {e destination-local} node id
+    [node], payload [msg]. *)
+
+val drain :
+  'm t -> (at:float -> src:int -> sseq:int -> node:int -> msg:'m -> unit) -> unit
+(** [drain t f] calls [f] for every buffered entry in [(at, src, sseq)]
+    lexicographic order, then empties the box.  Entries pushed in processing
+    order are already sorted (verified by a linear scan); out-of-order
+    pushes are sorted first. *)

@@ -83,16 +83,40 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let default_chunk t len =
+  (* Aim for several chunks per domain so uneven tasks balance, without
+     degenerating to per-item locking on long inputs. *)
+  max 1 (len / (t.size * 8))
+
+let validate_chunk = function
+  | Some c when c >= 1 -> Some c
+  | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+  | None -> None
+
+(* Publish [job] over [chunks] chunk indices and block until every chunk has
+   executed.  The calling domain is a worker too; on a size-1 pool this
+   degenerates to running all chunks inline (there are no other workers). *)
+let submit t ~chunks job =
+  Mutex.lock t.mutex;
+  if Option.is_some t.job || t.next < t.chunks then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.map: pool is already running a map (not reentrant)"
+  end;
+  t.chunks <- chunks;
+  t.next <- 0;
+  t.completed <- 0;
+  t.job <- Some job;
+  Condition.broadcast t.work_available;
+  drain t job;
+  while t.completed < t.chunks do
+    Condition.wait t.work_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
 let map_array t ?chunk f xs =
   let len = Array.length xs in
   let chunk =
-    match chunk with
-    | Some c when c >= 1 -> c
-    | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
-    | None ->
-      (* Aim for several chunks per domain so uneven tasks balance, without
-         degenerating to per-item locking on long inputs. *)
-      max 1 (len / (t.size * 8))
+    match validate_chunk chunk with Some c -> c | None -> default_chunk t len
   in
   if len = 0 then [||]
   else if t.size = 1 then Array.map f xs
@@ -115,27 +139,82 @@ let map_array t ?chunk f xs =
         if Option.is_none !first_error then first_error := Some (e, bt);
         Mutex.unlock t.mutex
     in
-    Mutex.lock t.mutex;
-    if Option.is_some t.job || t.next < t.chunks then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Pool.map: pool is already running a map (not reentrant)"
-    end;
-    t.chunks <- (len + chunk - 1) / chunk;
-    t.next <- 0;
-    t.completed <- 0;
-    t.job <- Some job;
-    Condition.broadcast t.work_available;
-    (* The calling domain is a worker too. *)
-    drain t job;
-    while t.completed < t.chunks do
-      Condition.wait t.work_done t.mutex
-    done;
-    Mutex.unlock t.mutex;
+    submit t ~chunks:((len + chunk - 1) / chunk) job;
     match !first_error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
       Array.map (function Some v -> v | None -> assert false) results
   end
+
+(* Reusable round handle: the chunking arithmetic, the job closure and the
+   error slot are built once, so a barrier-every-window driver (coupled
+   sharding runs thousands of sub-millisecond windows) pays one mutex
+   handshake per round instead of re-deriving and re-allocating the whole
+   submission per call. *)
+type 'a rounds = {
+  r_pool : t;
+  r_len : int;
+  r_chunk : int;
+  r_items : 'a array;
+  r_f : 'a -> unit;
+  r_job : int -> unit;
+  (* Item count of the round currently being submitted; the job closure
+     reads it so a prefix round stops at the live boundary.  Only the
+     submitting domain writes it, and always before the submit handshake
+     publishes the job, so workers observe the value for their round. *)
+  r_live : int ref;
+  r_error : (exn * Printexc.raw_backtrace) option ref;
+}
+
+let rounds t ?chunk f xs =
+  let len = Array.length xs in
+  let chunk =
+    match validate_chunk chunk with Some c -> c | None -> default_chunk t len
+  in
+  let error = ref None in
+  let live = ref len in
+  let job i =
+    let lo = i * chunk and hi = min !live ((i + 1) * chunk) in
+    try
+      if Option.is_none !error then
+        for k = lo to hi - 1 do
+          f xs.(k)
+        done
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock t.mutex;
+      if Option.is_none !error then error := Some (e, bt);
+      Mutex.unlock t.mutex
+  in
+  {
+    r_pool = t;
+    r_len = len;
+    r_chunk = chunk;
+    r_items = xs;
+    r_f = f;
+    r_job = job;
+    r_live = live;
+    r_error = error;
+  }
+
+let run_round_prefix r n =
+  if n < 0 || n > r.r_len then invalid_arg "Pool.run_round_prefix";
+  if n = 0 then ()
+  else if r.r_pool.size = 1 then
+    for k = 0 to n - 1 do
+      r.r_f r.r_items.(k)
+    done
+  else begin
+    r.r_live := n;
+    submit r.r_pool ~chunks:((n + r.r_chunk - 1) / r.r_chunk) r.r_job;
+    match !(r.r_error) with
+    | Some (e, bt) ->
+      r.r_error := None;
+      Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let run_round r = run_round_prefix r r.r_len
 
 let map t ?chunk f xs =
   Array.to_list (map_array t ?chunk f (Array.of_list xs))

@@ -51,3 +51,38 @@ val map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
+
+(** {2 Reusable rounds}
+
+    Barrier-per-window drivers (coupled sharding) submit the {e same} task
+    set hundreds of times with only shared state (an [Atomic] window bound)
+    changing between submissions.  A {!rounds} handle precomputes the
+    chunking and job closure once; each {!run_round} is then a single
+    publish-and-drain handshake with no per-call allocation. *)
+
+type 'a rounds
+(** A prepared, re-submittable fan-out of one task function over one item
+    array. *)
+
+val rounds : t -> ?chunk:int -> ('a -> unit) -> 'a array -> 'a rounds
+(** [rounds pool f xs] prepares the round [Array.iter f xs].  [f] must be
+    safe to run concurrently on distinct items; shared state it reads that
+    changes between rounds must be synchronized (e.g. [Atomic]).  Chunking
+    as in {!map}. *)
+
+val run_round : 'a rounds -> unit
+(** Execute one round: every item of the handle's array is passed to its
+    task function exactly once, and all items complete before the call
+    returns (a full barrier).  On a size-1 pool this is a plain sequential
+    loop.  If any task raised, the first exception (in completion order) is
+    re-raised after the barrier; the handle remains usable.
+    @raise Invalid_argument if the pool is already running a map or round. *)
+
+val run_round_prefix : 'a rounds -> int -> unit
+(** [run_round_prefix r n] runs the round over only the first [n] items of
+    the handle's array.  Drivers whose live task set varies per round (a
+    windowed simulation where most cells are idle most windows) overwrite
+    the array prefix, then submit just that prefix — same barrier semantics
+    as {!run_round}, proportionally fewer chunk claims.
+    @raise Invalid_argument if [n] is negative or exceeds the array length,
+    or if the pool is already running a map or round. *)

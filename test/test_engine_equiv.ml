@@ -14,6 +14,7 @@ module Link_model = Slpdas_sim.Link_model
 module Shard = Slpdas_sim.Shard
 module Protocol = Slpdas_core.Protocol
 module Scenario = Slpdas_exp.Scenario
+module Coupled = Slpdas_exp.Coupled
 module Harness = Slpdas_exp.Harness
 module Runner = Slpdas_exp.Runner
 module Phantom_runner = Slpdas_exp.Phantom_runner
@@ -443,6 +444,390 @@ let test_shard_domain_invariance () =
         (Shard.counters_json pc2 m2))
     links
 
+(* ------------------------------------------------------------------ *)
+(* Coupled sharding: cells stay radio-coupled over cut edges and run  *)
+(* in conservative lookahead windows.  The contract is byte-identity  *)
+(* with the unsharded sequential engine (Shard.sequential_engine) at  *)
+(* any cell count and any domain count.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Global observables of a run: merged counters plus per-node state,
+   fired-trace and broadcast count indexed by *global* node id. *)
+type global_obs = {
+  o_counters : Event.counters;
+  o_states : (int * int) array;
+  o_fired : string list array;
+  o_bbn : int array;
+}
+
+let seq_obs ~impl ?(arm = fun _ -> ()) ~topology ~link ~until () =
+  let e =
+    Shard.sequential_engine ~impl ~topology ~link ~seed:42
+      ~program:wave_program ()
+  in
+  arm e;
+  Engine.run_until e until;
+  let n = Graph.n topology.Topology.graph in
+  {
+    o_counters = Engine.counters e;
+    o_states = Array.init n (Engine.node_state e);
+    o_fired = Array.init n (Engine.node_fired e);
+    o_bbn = Engine.broadcasts_by_node e;
+  }
+
+let coupled_obs ~impl ?(domains = 1) ?(arm = fun ~plan:_ ~cell:_ _ -> ())
+    ~cells_x ~cells_y ~topology ~link ~until () =
+  let plan = Shard.plan ~cells_x ~cells_y topology in
+  let n = Graph.n topology.Topology.graph in
+  let states = Array.make n (0, 0) in
+  let fired = Array.make n [] in
+  let bbn = Array.make n 0 in
+  let _, merged =
+    Shard.run_coupled ~domains ~impl
+      ~arm:(fun ~cell e -> arm ~plan ~cell e)
+      ~inspect:(fun ~cell e ->
+        let local_bbn = Engine.broadcasts_by_node e in
+        Array.iteri
+          (fun i v ->
+            states.(v) <- Engine.node_state e i;
+            fired.(v) <- Engine.node_fired e i;
+            bbn.(v) <- local_bbn.(i))
+          cell.Shard.nodes)
+      plan ~link ~seed:42 ~program:wave_program ~until
+  in
+  { o_counters = merged; o_states = states; o_fired = fired; o_bbn = bbn }
+
+let check_obs ?(skip_link_changes = false) label expected actual =
+  (if skip_link_changes then begin
+     (* Per-cell fault application duplicates the Link_changed bookkeeping
+        event (one per cell instead of one per deployment); the caller
+        checks that counter separately. *)
+     let scrub c = { c with Event.link_changes = 0 } in
+     check_counters label (scrub expected.o_counters) (scrub actual.o_counters)
+   end
+   else check_counters label expected.o_counters actual.o_counters);
+  Alcotest.(check (array int)) (label ^ ": broadcasts by node") expected.o_bbn
+    actual.o_bbn;
+  Array.iteri
+    (fun v s ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%s: state of node %d" label v)
+        s actual.o_states.(v);
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: fired trace of node %d" label v)
+        expected.o_fired.(v) actual.o_fired.(v))
+    expected.o_states
+
+let coupled_topologies () =
+  [ ("grid6", Topology.grid 6); ("ring24", Topology.ring 24) ]
+
+(* Structural plan invariants: directed arcs double-count radio links, the
+   deprecated alias tracks the link count, and the per-cell port rows sum
+   back to the arc count. *)
+let check_plan_accounting label (plan : Shard.plan) =
+  Alcotest.(check int)
+    (label ^ ": cut_arcs = 2 * cut_links")
+    (2 * plan.Shard.cut_links) plan.Shard.cut_arcs;
+  Alcotest.(check int)
+    (label ^ ": cut_edges aliases cut_links")
+    plan.Shard.cut_links plan.Shard.cut_edges;
+  let port_rows =
+    Array.fold_left
+      (fun acc c ->
+        acc + c.Shard.ports_off.(Array.length c.Shard.nodes))
+      0 plan.Shard.cells
+  in
+  Alcotest.(check int) (label ^ ": port rows sum to cut_arcs") plan.Shard.cut_arcs
+    port_rows
+
+let test_coupled_vs_sequential () =
+  List.iter
+    (fun (tname, topology) ->
+      let plan22 = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+      check_plan_accounting (tname ^ "/2x2") plan22;
+      Alcotest.(check bool)
+        (tname ^ "/2x2: cells cut radio links")
+        true
+        (plan22.Shard.cut_links > 0);
+      Alcotest.(check bool)
+        (tname ^ "/2x2: boundary nodes exist")
+        true
+        (Shard.boundary_nodes plan22 > 0);
+      List.iter
+        (fun (lname, link) ->
+          let seq impl = seq_obs ~impl ~topology ~link ~until:8.0 () in
+          let seq_fast = seq Engine.Fast in
+          let seq_ref = seq Engine.Reference in
+          (* The stable-ordered sequential twin is itself impl-invariant. *)
+          check_obs
+            (Printf.sprintf "%s/%s: sequential fast = reference" tname lname)
+            seq_ref seq_fast;
+          List.iter
+            (fun (iname, impl, twin) ->
+              List.iter
+                (fun (cells_x, cells_y) ->
+                  let label =
+                    Printf.sprintf "%s/%s/%s/%dx%d coupled = sequential" tname
+                      lname iname cells_x cells_y
+                  in
+                  check_obs label twin
+                    (coupled_obs ~impl ~domains:2 ~cells_x ~cells_y ~topology
+                       ~link ~until:8.0 ()))
+                [ (1, 1); (2, 2); (3, 1) ])
+            [
+              ("fast", Engine.Fast, seq_fast);
+              ("ref", Engine.Reference, seq_ref);
+            ])
+        links)
+    (coupled_topologies ())
+
+(* Fault plan shared by the twin and the coupled run: crash a boundary node
+   mid-window (2.0005 sits between the wave-2 broadcast at 2.0 and its
+   deliveries at 2.001), an intra-cell link override, a second crash, a
+   revival, and a network-wide loss burst.  Under coupling, crashes,
+   revivals and the override are armed in the owning cell with local ids;
+   the global loss floor is mirrored into every cell. *)
+let coupled_fault_times ~bnode =
+  [
+    (2.0005, `Fail bnode);
+    (3.0, `Link_override (0, 1, 0.6));
+    (3.5, `Fail 14);
+    (4.5, `Revive bnode);
+    (5.0, `Global_loss 0.3);
+    (6.0, `Global_loss 0.0);
+    (6.5, `Link_override (0, 1, 0.0));
+  ]
+
+(* First global node owning at least one boundary port. *)
+let first_boundary_node (plan : Shard.plan) =
+  let best = ref max_int in
+  Array.iter
+    (fun c ->
+      Array.iteri
+        (fun i v ->
+          if c.Shard.ports_off.(i + 1) > c.Shard.ports_off.(i) && v < !best
+          then best := v)
+        c.Shard.nodes)
+    plan.Shard.cells;
+  !best
+
+let test_coupled_faults () =
+  let topology = Topology.grid 6 in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+  let nc = Array.length plan.Shard.cells in
+  let bnode = first_boundary_node plan in
+  Alcotest.(check bool) "crash target is a boundary node" true
+    (bnode < Graph.n topology.Topology.graph);
+  (* The overridden link must not be a cut edge (unsupported under
+     coupling): both endpoints live in the same cell. *)
+  Alcotest.(check int) "override edge 0-1 is intra-cell"
+    plan.Shard.cell_of_node.(0)
+    plan.Shard.cell_of_node.(1);
+  let faults = coupled_fault_times ~bnode in
+  let arm_seq e =
+    List.iter
+      (fun (at, f) ->
+        match f with
+        | `Fail v -> Engine.schedule e ~at (fun e -> Engine.fail_node e v)
+        | `Revive v -> Engine.schedule e ~at (fun e -> Engine.revive_node e v)
+        | `Link_override (a, b, p) ->
+          Engine.schedule e ~at (fun e -> Engine.set_link_loss e ~a ~b p)
+        | `Global_loss p ->
+          Engine.schedule e ~at (fun e -> Engine.set_global_loss e p))
+      faults
+  in
+  let arm_cell ~plan ~cell e =
+    let mine v = plan.Shard.cell_of_node.(v) = cell.Shard.id in
+    let local v = plan.Shard.local_index.(v) in
+    List.iter
+      (fun (at, f) ->
+        match f with
+        | `Fail v when mine v ->
+          Engine.schedule e ~at (fun e -> Engine.fail_node e (local v))
+        | `Revive v when mine v ->
+          Engine.schedule e ~at (fun e -> Engine.revive_node e (local v))
+        | `Link_override (a, b, p) when mine a && mine b ->
+          Engine.schedule e ~at (fun e ->
+              Engine.set_link_loss e ~a:(local a) ~b:(local b) p)
+        | `Global_loss p ->
+          Engine.schedule e ~at (fun e -> Engine.set_global_loss e p)
+        | `Fail _ | `Revive _ | `Link_override _ -> ())
+      faults
+  in
+  let global_changes =
+    List.length
+      (List.filter (fun (_, f) -> match f with `Global_loss _ -> true | _ -> false)
+         faults)
+  in
+  List.iter
+    (fun (lname, link) ->
+      List.iter
+        (fun (iname, impl) ->
+          let label = Printf.sprintf "faults/%s/%s" lname iname in
+          let twin = seq_obs ~impl ~arm:arm_seq ~topology ~link ~until:8.0 () in
+          let coupled =
+            coupled_obs ~impl ~domains:2 ~arm:arm_cell ~cells_x:2 ~cells_y:2
+              ~topology ~link ~until:8.0 ()
+          in
+          check_obs ~skip_link_changes:true label twin coupled;
+          (* Every cell logs the mirrored global-loss changes; everything
+             else is armed exactly once. *)
+          Alcotest.(check int) (label ^ ": link changes")
+            (twin.o_counters.Event.link_changes + ((nc - 1) * global_changes))
+            coupled.o_counters.Event.link_changes)
+        [ ("fast", Engine.Fast); ("ref", Engine.Reference) ])
+    links
+
+(* The exp-layer recorder must reconstruct the sequential engine's bus
+   exactly: record every event in every cell with its processing key, merge,
+   and compare against a tap on the sequential twin. *)
+let test_coupled_event_stream () =
+  let topology = Topology.grid 6 in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+  List.iter
+    (fun (lname, link) ->
+      let twin =
+        Shard.sequential_engine ~impl:Engine.Fast ~topology ~link ~seed:42
+          ~program:wave_program ()
+      in
+      let twin_stream = Coupled.tap twin in
+      Engine.run_until twin 8.0;
+      let recorder = Coupled.recorder () in
+      let _ =
+        Shard.run_coupled ~domains:2 ~monitor:(Coupled.monitor recorder) plan
+          ~link ~seed:42 ~program:wave_program ~until:8.0
+      in
+      let merged = Coupled.events recorder in
+      let expected = twin_stream () in
+      Alcotest.(check int)
+        (lname ^ ": stream lengths")
+        (Array.length expected) (Array.length merged);
+      Alcotest.(check bool)
+        (lname ^ ": merged stream = sequential bus")
+        true
+        (merged = expected))
+    links
+
+(* The pure hunter fold over a coupled run's merged stream must reach the
+   same verdict as the live Scenario.Hunter subscribed on the sequential
+   twin (which stops the engine at capture — the fold instead ignores the
+   stream's tail). *)
+let test_coupled_hunter () =
+  let topology = Topology.grid 6 in
+  let n = Graph.n topology.Topology.graph in
+  let start = n - 1 and source = 0 in
+  let message_id msg = Some msg in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+  List.iter
+    (fun (lname, link) ->
+      let twin =
+        Shard.sequential_engine ~impl:Engine.Fast ~topology ~link ~seed:42
+          ~program:wave_program ()
+      in
+      let live = Scenario.Hunter.attach ~start ~source ~message_id twin in
+      Engine.run_until twin 14.0;
+      let folded, _ =
+        Coupled.capture ~domains:2 plan ~link ~seed:42 ~program:wave_program
+          ~until:14.0 ~start ~source ~message_id ()
+      in
+      Alcotest.(check int) (lname ^ ": hunter location")
+        (Scenario.Hunter.location live)
+        folded.Coupled.Hunter.location;
+      Alcotest.(check (list int)) (lname ^ ": hunter path")
+        (Scenario.Hunter.path live) folded.Coupled.Hunter.path;
+      Alcotest.(check (option (float 0.0)))
+        (lname ^ ": capture time")
+        (Scenario.Hunter.capture_time live)
+        folded.Coupled.Hunter.capture_time;
+      (* The wave floods from the source every second, so the hunter must
+         actually converge — guard against a vacuous pass. *)
+      Alcotest.(check bool) (lname ^ ": hunter captures") true
+        (folded.Coupled.Hunter.capture_time <> None))
+    links
+
+let test_coupled_domain_invariance () =
+  let topology = Topology.grid 7 in
+  let plan = Shard.plan ~cells_x:2 ~cells_y:2 topology in
+  List.iter
+    (fun (lname, link) ->
+      let run domains =
+        let per_cell, merged =
+          Shard.run_coupled ~domains plan ~link ~seed:42 ~program:wave_program
+            ~until:6.0
+        in
+        Shard.counters_json per_cell merged
+      in
+      let j1 = run 1 in
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: coupled JSON, %d domains = 1 domain" lname
+               domains)
+            j1 (run domains))
+        [ 2; 4 ])
+    links
+
+(* Acceptance-scale check: on the 101x101 grid (10201 nodes), a coupled run
+   with 16 cells matches the unsharded sequential engine byte for byte —
+   counters JSON and per-node broadcast counts — for every link model, at
+   one and two domains. *)
+let test_coupled_101 () =
+  let topology = Topology.grid 101 in
+  let until = 2.0 in
+  List.iter
+    (fun (lname, link) ->
+      let twin =
+        Shard.sequential_engine ~impl:Engine.Fast ~topology ~link ~seed:42
+          ~program:wave_program ()
+      in
+      Engine.run_until twin until;
+      let twin_json = Event.to_json (Engine.counters twin) in
+      let twin_bbn = Engine.broadcasts_by_node twin in
+      let plan = Shard.plan ~cells_x:4 ~cells_y:4 topology in
+      List.iter
+        (fun domains ->
+          let n = Graph.n topology.Topology.graph in
+          let bbn = Array.make n 0 in
+          let _, merged =
+            Shard.run_coupled ~domains plan ~link ~seed:42
+              ~program:wave_program ~until
+              ~inspect:(fun ~cell e ->
+                let local = Engine.broadcasts_by_node e in
+                Array.iteri (fun i v -> bbn.(v) <- local.(i)) cell.Shard.nodes)
+          in
+          let label = Printf.sprintf "101x101/%s/domains=%d" lname domains in
+          Alcotest.(check string)
+            (label ^ ": counters JSON") twin_json (Event.to_json merged);
+          Alcotest.(check (array int))
+            (label ^ ": broadcasts by node") twin_bbn bbn)
+        [ 1; 2 ])
+    links
+
+(* Property: whatever the cell decomposition and domain count, the coupled
+   run reproduces the sequential twin byte for byte. *)
+let prop_coupled_cell_count_invariance =
+  let topology = Topology.grid 5 in
+  let link = Link_model.Lossy 0.25 in
+  let twin = seq_obs ~impl:Engine.Fast ~topology ~link ~until:5.0 () in
+  let twin_json = Event.to_json twin.o_counters in
+  QCheck.Test.make ~count:12
+    ~name:"coupled run is invariant in (cells_x, cells_y, domains)"
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 1 3))
+    (fun (cells_x, cells_y, domains) ->
+      (* QCheck's int shrinker can step outside the generator's range;
+         clamp so shrinking a genuine failure stays well-formed. *)
+      let cells_x = max 1 cells_x
+      and cells_y = max 1 cells_y
+      and domains = max 1 domains in
+      let obs =
+        coupled_obs ~impl:Engine.Fast ~domains ~cells_x ~cells_y ~topology
+          ~link ~until:5.0 ()
+      in
+      Event.to_json obs.o_counters = twin_json
+      && obs.o_states = twin.o_states
+      && obs.o_fired = twin.o_fired
+      && obs.o_bbn = twin.o_bbn)
+
 let () =
   Alcotest.run "engine-equivalence"
     [
@@ -474,5 +859,21 @@ let () =
             test_shard_disjoint_cells;
           Alcotest.test_case "domain-count invariance" `Quick
             test_shard_domain_invariance;
+        ] );
+      ( "coupled sharding",
+        [
+          Alcotest.test_case "coupled = sequential, links x topologies" `Quick
+            test_coupled_vs_sequential;
+          Alcotest.test_case "boundary crash + faults mid-window" `Quick
+            test_coupled_faults;
+          Alcotest.test_case "merged event stream = sequential bus" `Quick
+            test_coupled_event_stream;
+          Alcotest.test_case "offline hunter = live hunter" `Quick
+            test_coupled_hunter;
+          Alcotest.test_case "coupled domain-count invariance" `Quick
+            test_coupled_domain_invariance;
+          Alcotest.test_case "101x101 acceptance, links x domains" `Slow
+            test_coupled_101;
+          QCheck_alcotest.to_alcotest prop_coupled_cell_count_invariance;
         ] );
     ]

@@ -74,6 +74,8 @@ let test_domain_capture () =
         "let f pool xs t = Pool.map pool (fun x -> t.count <- x) xs" );
       ( "domain spawn",
         "let f r = Domain.spawn (fun () -> r := 1)" );
+      ( "rounds task",
+        "let f pool xs r = Pool.rounds pool (fun x -> r := x) xs" );
     ]
   in
   List.iter

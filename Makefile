@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint bench bench-smoke bench-determinism chaos-smoke scale-smoke couple-smoke serve-smoke clean
+.PHONY: build test lint lint-typed bench bench-smoke bench-determinism chaos-smoke scale-smoke couple-smoke serve-smoke clean
 
 build:
 	dune build @all
@@ -9,9 +9,17 @@ test:
 	dune runtest
 
 # Project-specific static analysis (see DESIGN.md "Static analysis").
-# Exits non-zero on any unsuppressed diagnostic.
+# Exits 1 on any unsuppressed finding, 2 on infrastructure/usage errors.
+# The default tier is syntactic: parsetree heuristics, no build needed.
 lint:
 	dune exec bin/slp_lint.exe -- lib bin bench
+
+# Both tiers: the typed tier loads .cmt files from _build/default (hence
+# the @check build first) and adds alias-proof path resolution plus the
+# interprocedural analyses (rng-flow, pool-escape, decider-purity).
+lint-typed:
+	dune build @check
+	dune exec bin/slp_lint.exe -- --tier both --sarif _build/slp-lint.sarif lib bin bench
 
 # Full harness: every table/figure of the paper plus ablations (minutes).
 bench:

@@ -1,0 +1,88 @@
+(* The baseline ratchet: adopt the linter on a tree with known findings
+   without letting new ones in.
+
+   A baseline file records per-(file, rule) finding COUNTS, one entry per
+   line: [<path> <rule> <count>], '#' comments allowed.  Applying a
+   baseline removes up to <count> diagnostics for each (file, rule) pair —
+   deliberately line-number-free, so moving code around does not churn the
+   file; only a NET INCREASE for some pair surfaces findings.  Dropping
+   below the recorded count is the signal to regenerate (ratchet down)
+   with --write-baseline. *)
+
+type t = (string * string, int) Hashtbl.t
+
+let parse contents =
+  let t : t = Hashtbl.create 16 in
+  let lineno = ref 0 in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> not (String.equal s ""))
+      with
+      | [] -> ()
+      | [ path; rule; count ] -> (
+        match int_of_string_opt count with
+        | Some n when n > 0 ->
+          let key = (Suppress.normalize_path path, rule) in
+          Hashtbl.replace t key
+            (n + Option.value ~default:0 (Hashtbl.find_opt t key))
+        | _ ->
+          if Option.is_none !err then
+            err :=
+              Some
+                (Printf.sprintf "baseline line %d: count must be a positive \
+                                 integer" !lineno))
+      | _ ->
+        if Option.is_none !err then
+          err :=
+            Some
+              (Printf.sprintf
+                 "baseline line %d: expected '<path> <rule> <count>'" !lineno))
+    (String.split_on_char '\n' contents);
+  match !err with None -> Ok t | Some e -> Error e
+
+let apply (t : t) diagnostics =
+  let budget = Hashtbl.copy t in
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      let key = (d.Diagnostic.file, d.Diagnostic.rule) in
+      match Hashtbl.find_opt budget key with
+      | Some n when n > 0 ->
+        Hashtbl.replace budget key (n - 1);
+        false
+      | _ -> true)
+    diagnostics
+
+let render diagnostics =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      let key = (d.Diagnostic.file, d.Diagnostic.rule) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    diagnostics;
+  let entries =
+    Hashtbl.fold (fun (file, rule) n acc -> (file, rule, n) :: acc) counts []
+    |> List.sort (fun (f1, r1, _) (f2, r2, _) ->
+           match String.compare f1 f2 with
+           | 0 -> String.compare r1 r2
+           | c -> c)
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# slp-lint baseline: <path> <rule> <count> per line.\n\
+     # Regenerate with: slp_lint --write-baseline <this file> <roots>\n";
+  List.iter
+    (fun (file, rule, n) ->
+      Buffer.add_string b (Printf.sprintf "%s %s %d\n" file rule n))
+    entries;
+  Buffer.contents b

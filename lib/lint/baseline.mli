@@ -1,0 +1,17 @@
+(** Baseline ratchet: per-(file, rule) finding counts recorded in a text
+    file ([<path> <rule> <count>] per line, ['#'] comments).  Applying a
+    baseline subtracts up to the recorded count for each pair, so only a
+    net increase surfaces findings; counts are line-number-free and survive
+    code motion.  Regenerate with the CLI's [--write-baseline] to ratchet
+    down. *)
+
+type t
+
+val parse : string -> (t, string) result
+(** [Error] describes the first malformed line. *)
+
+val apply : t -> Diagnostic.t list -> Diagnostic.t list
+(** Remove up to the budgeted count of diagnostics per (file, rule). *)
+
+val render : Diagnostic.t list -> string
+(** Serialize current findings as a baseline file, sorted. *)

@@ -1,0 +1,407 @@
+(* Project-wide call graph with per-function effect summaries.
+
+   Every unit-top-level function literal (including those in nested plain
+   modules) gets a summary of the facts the interprocedural rules need:
+   which parameters it mutates, whether it mutates or draws randomness from
+   ambient (non-local) state, whether an exception can escape it, every
+   call it makes (with the class of each argument), and every ambient value
+   it references.  A fixpoint then propagates callee facts to callers, so
+   [Flows] and [Purity] can answer "does anything reachable from here do X"
+   with plain table lookups.
+
+   Classes are deliberately coarse.  [Opaque] — a computed value such as
+   [engines.(i)] — is never tracked: selecting per-lane state through the
+   task argument is exactly the sanctioned pattern, so treating it as
+   untracked keeps the analyses zero-noise on the clean tree. *)
+
+open Typedtree
+
+type cls =
+  | Param of string  (* parameter of the enclosing function, by key *)
+  | Local  (* bound inside the scanned scope: fresh per call/task *)
+  | Ambient of string list  (* resolved path outside the scope *)
+  | Opaque  (* computed value; deliberately untracked *)
+
+type call = {
+  callee : string;  (* dotted resolved name *)
+  cargs : (string * cls) list;  (* argument key -> class *)
+  cloc : Location.t;
+  cin_try : bool;
+}
+
+type summary = {
+  sfn : string;  (* dotted resolved name, e.g. "Slpdas_sim.Engine.step" *)
+  ssrc : string;  (* normalized source path of the defining unit *)
+  sloc : Location.t;
+  mutable mut_params : string list;  (* keys of mutated parameters *)
+  mutable ambient_mut : Location.t option;
+  mutable ambient_rng : Location.t option;
+  mutable raises : Location.t option;
+  mutable calls : call list;
+  mutable refs : (string * Location.t) list;  (* ambient value references *)
+}
+
+type t = (string, summary) Hashtbl.t
+
+let find (g : t) fn = Hashtbl.find_opt g fn
+
+(* ------------------------------------------------------------------ *)
+(* Facts scanner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type events = {
+  mutate : cls -> Location.t -> unit;
+  rng : cls -> Location.t -> unit;
+  call : string list -> (string * cls) list -> Location.t -> in_try:bool -> unit;
+  vref : string list -> Location.t -> unit;
+  rais : Location.t -> in_try:bool -> unit;
+}
+
+(* Positional index (among unlabelled arguments) of the argument mutated by
+   a known stdlib mutation entry point; [Stdlib.:=] is matched exactly,
+   container mutators by their last two components so project aliases and
+   fixture stubs match too. *)
+let mutation_target comps =
+  match comps with
+  | [ "Stdlib"; (":=" | "incr" | "decr") ] -> Some 0
+  | _ -> (
+    match List.rev comps with
+    | op :: m :: _ -> (
+      match m with
+      | "Hashtbl"
+        when List.mem op
+               [ "add"; "replace"; "remove"; "reset"; "clear";
+                 "filter_map_inplace" ] ->
+        Some 0
+      | "Buffer"
+        when List.mem op [ "clear"; "reset"; "truncate" ]
+             || (String.length op > 4 && String.equal (String.sub op 0 4) "add_")
+        ->
+        Some 0
+      | "Bytes" when List.mem op [ "set"; "unsafe_set"; "fill" ] -> Some 0
+      | "Bytes" when List.mem op [ "blit"; "blit_string" ] -> Some 2
+      | "Queue" when List.mem op [ "push"; "add"; "pop"; "take"; "clear" ] ->
+        (match op with "push" | "add" -> Some 1 | _ -> Some 0)
+      | "Stack" when List.mem op [ "push"; "pop"; "clear" ] ->
+        (match op with "push" -> Some 1 | _ -> Some 0)
+      | _ -> None)
+    | _ -> None)
+
+(* Idents bound anywhere inside [e] (let, function params, match/try case
+   patterns, for indices, let module) — the "fresh within this scope" set
+   used to separate locals from captured/ambient values. *)
+let bound_idents_in add e =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.exp_desc with
+          | Texp_let (_, vbs, _) -> List.iter add (let_bound_idents vbs)
+          | Texp_function { param; cases; _ } ->
+            add param;
+            List.iter
+              (fun c -> List.iter add (pat_bound_idents c.c_lhs))
+              cases
+          | Texp_match (_, cases, _) ->
+            List.iter
+              (fun c -> List.iter add (pat_bound_idents c.c_lhs))
+              cases
+          | Texp_try (_, cases) ->
+            List.iter
+              (fun c -> List.iter add (pat_bound_idents c.c_lhs))
+              cases
+          | Texp_for (id, _, _, _, _, _) -> add id
+          | Texp_letmodule (Some id, _, _, _, _) -> add id
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e
+
+let raising_entry tail =
+  match tail with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ] ->
+    true
+  | _ -> false
+
+(* [f @@ x] and [x |> f]: surface the underlying application so the call
+   event names the real callee. *)
+let rec unwrap_pipe st f args =
+  match f.exp_desc with
+  | Texp_ident (p, _, _) -> (
+    match (Tast_walk.components st p, args) with
+    | [ "Stdlib"; "@@" ], [ (Asttypes.Nolabel, Some g); (Asttypes.Nolabel, Some x) ]
+      ->
+      unwrap_pipe st g [ (Asttypes.Nolabel, Some x) ]
+    | [ "Stdlib"; "|>" ], [ (Asttypes.Nolabel, Some x); (Asttypes.Nolabel, Some g) ]
+      ->
+      unwrap_pipe st g [ (Asttypes.Nolabel, Some x) ]
+    | _ -> (f, args))
+  | _ -> (f, args)
+
+let arg_key lbl pos =
+  match lbl with
+  | Asttypes.Nolabel ->
+    let k = "#" ^ string_of_int !pos in
+    incr pos;
+    k
+  | Asttypes.Labelled s | Asttypes.Optional s -> "~" ^ s
+
+let scan st ~classify ~(ev : events) body =
+  let depth = ref 0 in
+  let classify_head e =
+    match Tast_walk.head_path e with Some p -> classify p | None -> Opaque
+  in
+  let expr self e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+      let cls = classify p in
+      (match cls with
+      | Ambient comps ->
+        ev.vref comps e.exp_loc;
+        (match Tast_walk.stdlib_tail st p with
+        | Some tail when raising_entry tail ->
+          ev.rais e.exp_loc ~in_try:(!depth > 0)
+        | _ -> ())
+      | _ -> ());
+      if Tast_walk.is_rng_type st e.exp_type then ev.rng cls e.exp_loc
+    | Texp_try (b, cases) ->
+      incr depth;
+      self.Tast_iterator.expr self b;
+      decr depth;
+      List.iter (Tast_iterator.default_iterator.case self) cases
+    | Texp_setfield (obj, _, _, _) ->
+      ev.mutate (classify_head obj) e.exp_loc;
+      Tast_iterator.default_iterator.expr self e
+    | Texp_apply (f0, args0) -> (
+      let f, args = unwrap_pipe st f0 args0 in
+      match f.exp_desc with
+      | Texp_ident (p, _, _) ->
+        let comps = Tast_walk.components st p in
+        if Tast_walk.synchronized comps then
+          (* Atomic/Mutex: sanctioned synchronization — no escape facts from
+             this subtree, but keep the callee visible to purity's
+             denylist. *)
+          ev.vref comps e.exp_loc
+        else begin
+          let positional =
+            List.filter_map
+              (fun (l, a) ->
+                match (l, a) with
+                | Asttypes.Nolabel, Some a -> Some a
+                | _ -> None)
+              args
+          in
+          (match mutation_target comps with
+          | Some i when List.length positional > i ->
+            ev.mutate (classify_head (List.nth positional i)) e.exp_loc
+          | _ -> ());
+          let pos = ref 0 in
+          let keyed =
+            List.filter_map
+              (fun (lbl, a) ->
+                match a with
+                | None ->
+                  ignore (arg_key lbl pos);
+                  None
+                | Some a -> Some (arg_key lbl pos, classify_head a))
+              args
+          in
+          ev.call comps keyed e.exp_loc ~in_try:(!depth > 0);
+          Tast_iterator.default_iterator.expr self e
+        end
+      | _ -> Tast_iterator.default_iterator.expr self e)
+    | _ -> Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body
+
+(* ------------------------------------------------------------------ *)
+(* Per-function summaries                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Peel the parameter spine of a function literal: each [fun p ->] layer
+   yields (argument key, idents it binds); the remainder is the set of body
+   expressions (several for multi-case [function ...], plus guards). *)
+let rec strip_params e pos params =
+  match e.exp_desc with
+  | Texp_function { arg_label; param; cases; _ } -> (
+    let key = arg_key arg_label pos in
+    let bound =
+      param :: List.concat_map (fun c -> pat_bound_idents c.c_lhs) cases
+    in
+    let params = (key, bound) :: params in
+    match cases with
+    | [ { c_guard = None; c_rhs; _ } ] -> strip_params c_rhs pos params
+    | _ ->
+      ( List.rev params,
+        List.concat_map
+          (fun c ->
+            (match c.c_guard with Some g -> [ g ] | None -> []) @ [ c.c_rhs ])
+          cases ))
+  | _ -> (List.rev params, [ e ])
+
+let classifier ~env ~bound st p =
+  match p with
+  | Path.Pident id -> (
+    let k = Ident.unique_name id in
+    match Hashtbl.find_opt env k with
+    | Some key -> Param key
+    | None ->
+      if Hashtbl.mem bound k then Local
+      else Ambient (Tast_walk.components st p))
+  | _ -> Ambient (Tast_walk.components st p)
+
+let summarize_fn st ~src ~comps vb =
+  let params, bodies = strip_params vb.vb_expr (ref 0) [] in
+  let env = Hashtbl.create 8 in
+  List.iter
+    (fun (key, ids) ->
+      List.iter (fun id -> Hashtbl.replace env (Ident.unique_name id) key) ids)
+    params;
+  let bound = Hashtbl.create 32 in
+  List.iter
+    (bound_idents_in (fun id -> Hashtbl.replace bound (Ident.unique_name id) ()))
+    bodies;
+  let s =
+    {
+      sfn = String.concat "." comps;
+      ssrc = src;
+      sloc = vb.vb_loc;
+      mut_params = [];
+      ambient_mut = None;
+      ambient_rng = None;
+      raises = None;
+      calls = [];
+      refs = [];
+    }
+  in
+  let ev =
+    {
+      mutate =
+        (fun cls loc ->
+          match cls with
+          | Param k ->
+            if not (List.mem k s.mut_params) then
+              s.mut_params <- k :: s.mut_params
+          | Ambient _ ->
+            if Option.is_none s.ambient_mut then s.ambient_mut <- Some loc
+          | Local | Opaque -> ());
+      rng =
+        (fun cls loc ->
+          match cls with
+          | Ambient _ ->
+            if Option.is_none s.ambient_rng then s.ambient_rng <- Some loc
+          | _ -> ());
+      call =
+        (fun callee cargs cloc ~in_try ->
+          s.calls <-
+            { callee = String.concat "." callee; cargs; cloc; cin_try = in_try }
+            :: s.calls);
+      vref = (fun comps loc -> s.refs <- (String.concat "." comps, loc) :: s.refs);
+      rais =
+        (fun loc ~in_try ->
+          if (not in_try) && Option.is_none s.raises then s.raises <- Some loc);
+    }
+  in
+  let classify = classifier ~env ~bound st in
+  List.iter (scan st ~classify ~ev) bodies;
+  s
+
+let summarize_unit st ~src ~unit_name structure =
+  let out = ref [] in
+  let rec items prefix str =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) when Tast_walk.is_function_literal vb.vb_expr
+                ->
+                out :=
+                  summarize_fn st ~src ~comps:(prefix @ [ Ident.name id ]) vb
+                  :: !out
+              | _ -> ())
+            vbs
+        | Tstr_module mb -> sub prefix mb
+        | Tstr_recmodule mbs -> List.iter (sub prefix) mbs
+        | _ -> ())
+      str.str_items
+  and sub prefix mb =
+    match (mb.mb_id, (Tast_walk.unwrap_module_expr mb.mb_expr).mod_desc) with
+    | Some id, Tmod_structure str -> items (prefix @ [ Ident.name id ]) str
+    | _ -> ()
+  in
+  items (Tast_walk.split_dunder unit_name) structure;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let propagate (g : t) =
+  let changed = ref true in
+  let rounds = ref 0 in
+  (* Facts only ever flip from absent to present, so this terminates; the
+     round guard is belt-and-braces against a pathological graph. *)
+  while !changed && !rounds < 100 do
+    changed := false;
+    incr rounds;
+    Hashtbl.iter
+      (fun _ s ->
+        List.iter
+          (fun c ->
+            match find g c.callee with
+            | None -> ()
+            | Some callee ->
+              let lift getter setter =
+                if Option.is_some (getter callee) && Option.is_none (getter s)
+                then begin
+                  setter s (Some c.cloc);
+                  changed := true
+                end
+              in
+              lift (fun x -> x.ambient_mut) (fun x v -> x.ambient_mut <- v);
+              lift (fun x -> x.ambient_rng) (fun x v -> x.ambient_rng <- v);
+              if
+                Option.is_some callee.raises
+                && (not c.cin_try)
+                && Option.is_none s.raises
+              then begin
+                s.raises <- Some c.cloc;
+                changed := true
+              end;
+              List.iter
+                (fun (key, cls) ->
+                  if List.mem key callee.mut_params then
+                    match cls with
+                    | Param k ->
+                      if not (List.mem k s.mut_params) then begin
+                        s.mut_params <- k :: s.mut_params;
+                        changed := true
+                      end
+                    | Ambient _ ->
+                      if Option.is_none s.ambient_mut then begin
+                        s.ambient_mut <- Some c.cloc;
+                        changed := true
+                      end
+                    | Local | Opaque -> ())
+                c.cargs)
+          s.calls)
+      g
+  done
+
+let build units : t =
+  let g = Hashtbl.create 256 in
+  List.iter
+    (fun (st, (u : Cmt_loader.unit_info)) ->
+      List.iter
+        (fun s -> if not (Hashtbl.mem g s.sfn) then Hashtbl.replace g s.sfn s)
+        (summarize_unit st ~src:u.Cmt_loader.src ~unit_name:u.Cmt_loader.unit_name
+           u.Cmt_loader.structure))
+    units;
+  propagate g;
+  g

@@ -1,0 +1,65 @@
+(** Project-wide call graph with per-function effect summaries.
+
+    One {!summary} per unit-top-level function literal, with a fixpoint
+    that propagates callee facts (ambient mutation, ambient RNG draws,
+    escaping exceptions, parameter mutation through call arguments) up to
+    callers.  {!Flows} and {!Purity} consume these as plain lookups. *)
+
+type cls =
+  | Param of string
+      (** parameter of the enclosing scope, by key ([#0], [#1], [~label]) *)
+  | Local  (** bound inside the scanned scope: fresh per call or task *)
+  | Ambient of string list  (** resolved path from outside the scope *)
+  | Opaque
+      (** computed value (e.g. [engines.(i)]): deliberately untracked, the
+          sanctioned per-lane selection pattern *)
+
+type call = {
+  callee : string;  (** dotted resolved name *)
+  cargs : (string * cls) list;  (** argument key -> class *)
+  cloc : Location.t;
+  cin_try : bool;  (** call sits under a [try]; callee raises are absorbed *)
+}
+
+type summary = {
+  sfn : string;  (** dotted resolved name, e.g. ["Slpdas_sim.Engine.step"] *)
+  ssrc : string;  (** normalized source path of the defining unit *)
+  sloc : Location.t;
+  mutable mut_params : string list;  (** keys of mutated parameters *)
+  mutable ambient_mut : Location.t option;
+  mutable ambient_rng : Location.t option;
+  mutable raises : Location.t option;
+  mutable calls : call list;
+  mutable refs : (string * Location.t) list;
+      (** every ambient value referenced (for purity's denylist / BFS) *)
+}
+
+type t
+
+val build : (Tast_walk.state * Cmt_loader.unit_info) list -> t
+(** Summarize every unit and run the propagation fixpoint. *)
+
+val find : t -> string -> summary option
+
+type events = {
+  mutate : cls -> Location.t -> unit;
+  rng : cls -> Location.t -> unit;
+  call : string list -> (string * cls) list -> Location.t -> in_try:bool -> unit;
+  vref : string list -> Location.t -> unit;
+  rais : Location.t -> in_try:bool -> unit;
+}
+
+val scan :
+  Tast_walk.state ->
+  classify:(Path.t -> cls) ->
+  ev:events ->
+  Typedtree.expression ->
+  unit
+(** The shared fact scanner: walks one expression, classifying every
+    mutation target, [Rng.t] occurrence, call, ambient reference and raise
+    through [classify].  [Atomic.*]/[Mutex.*] applications contribute only
+    a [vref] (sanctioned synchronization). *)
+
+val bound_idents_in : (Ident.t -> unit) -> Typedtree.expression -> unit
+(** Feed every ident bound anywhere inside the expression (let bindings,
+    function parameters, match/try patterns, for indices) to the callback. *)

@@ -22,3 +22,6 @@ val to_string : t -> string
 
 val to_json : t -> string
 (** One JSON object; all strings escaped. *)
+
+val json_string : string -> string
+(** Quote and escape one JSON string; shared with the SARIF renderer. *)

@@ -1,0 +1,20 @@
+(** decider-purity: certify that every attacker-decision function reachable
+    from the registry in [lib/serve/query.ml] ([decide_fn]) is free of
+    mutation, I/O, RNG draws and escaping exceptions.
+
+    Certification walks {!Callgraph} summaries from the registry function,
+    screening each visited function's effect facts and ambient references
+    (stdlib denylist: printing, [Random], [Sys]/[Unix], may-raise partial
+    functions, atomics).  Project references whose unit was not analyzed
+    are reported as uncertifiable — lint the whole tree to certify
+    cross-library deciders.  All diagnostics anchor on the registry file so
+    suppressions and the allowlist key predictably. *)
+
+val registry : (string * string) list
+(** [(normalized source path, registry function name)] pairs. *)
+
+val check :
+  Callgraph.t ->
+  rules:Rules.t list ->
+  units:Cmt_loader.unit_info list ->
+  Diagnostic.t list

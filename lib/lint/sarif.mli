@@ -1,0 +1,6 @@
+(** SARIF 2.1.0 output for CI annotation surfaces.  Columns are converted
+    from the internal 0-based convention to SARIF's 1-based one. *)
+
+val render : rules:Rules.t list -> Diagnostic.t list -> string
+(** One complete SARIF log: a single run with the given rule descriptors
+    and one result per diagnostic. *)

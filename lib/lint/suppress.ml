@@ -34,9 +34,27 @@ let skip_blanks s i =
 
 let marker = "slp-lint:"
 
-(* Parse every directive on [line] and record it. *)
+(* Parse every directive on [line] and record it.  One directive may name
+   several rules: [(* slp-lint: allow rule-a rule-b *)] records both; the
+   rule list ends at the first non-word token (e.g. the comment closer or a
+   justification separated by punctuation). *)
 let scan_line t ~lineno line =
   let n = String.length line in
+  let record verb rule =
+    if String.equal verb "allow-file" then Hashtbl.replace t.file_rules rule ()
+    else begin
+      Hashtbl.replace t.line_rules (rule, lineno) ();
+      Hashtbl.replace t.line_rules (rule, lineno + 1) ()
+    end
+  in
+  let rec rules verb j =
+    let j = skip_blanks line j in
+    match word line j with
+    | Some (rule, j') ->
+      record verb rule;
+      rules verb j'
+    | None -> j
+  in
   let rec from i =
     if i < n then begin
       match
@@ -52,18 +70,7 @@ let scan_line t ~lineno line =
       | Some k ->
         let j = skip_blanks line (k + String.length marker) in
         (match word line j with
-        | Some (("allow" | "allow-file") as verb, j) -> (
-          let j = skip_blanks line j in
-          match word line j with
-          | Some (rule, j') ->
-            if String.equal verb "allow-file" then
-              Hashtbl.replace t.file_rules rule ()
-            else begin
-              Hashtbl.replace t.line_rules (rule, lineno) ();
-              Hashtbl.replace t.line_rules (rule, lineno + 1) ()
-            end;
-            from j'
-          | None -> from j)
+        | Some (("allow" | "allow-file") as verb, j) -> from (rules verb j)
         | _ -> from (k + String.length marker))
     end
   in
@@ -90,6 +97,18 @@ type allowlist = (string * string, unit) Hashtbl.t
 
 let empty_allowlist () : allowlist = Hashtbl.create 4
 
+(* Allowlist entries key files the same way the driver normalizes scanned
+   paths, so "./bin/slp_lint.ml" and "bin/slp_lint.ml" are one entry. *)
+let normalize_path path =
+  let rec strip p =
+    if String.length p >= 2 && String.equal (String.sub p 0 2) "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else if String.length p >= 3 && String.equal (String.sub p 0 3) "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  strip path
+
 let parse_allowlist contents =
   let t = empty_allowlist () in
   let lineno = ref 0 in
@@ -108,7 +127,7 @@ let parse_allowlist contents =
         |> List.filter (fun s -> not (String.equal s ""))
       with
       | [] -> ()
-      | [ path; rule ] -> Hashtbl.replace t (path, rule) ()
+      | [ path; rule ] -> Hashtbl.replace t (normalize_path path, rule) ()
       | _ ->
         if Option.is_none !err then
           err :=

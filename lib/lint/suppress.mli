@@ -29,3 +29,8 @@ val parse_allowlist : string -> (allowlist, string) result
     line. *)
 
 val allowlisted : allowlist -> file:string -> rule:string -> bool
+
+val normalize_path : string -> string
+(** Strip leading ["./"] and ["../"] segments, the same normalization the
+    driver applies to scanned paths, so allowlist entries, cmt source
+    records and root arguments key identically. *)

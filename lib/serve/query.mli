@@ -13,7 +13,18 @@
     the {!decider} enumeration are representable: an rng-driven decider
     (e.g. [Attacker.random_heard]) gives different verdicts per call, so
     {!of_request} refuses to build a query for it and the service computes
-    such requests directly, bypassing the cache. *)
+    such requests directly, bypassing the cache.
+
+    {b Purity contract.}  Every function the registry's [decide_fn]
+    returns must be transitively free of mutation of captured state, I/O,
+    RNG draws and escaping exceptions — an impure decider would poison
+    every cache (in-memory or on-disk) its answers touch.  This is not
+    left to review: the [decider-purity] lint rule (typed tier,
+    [make lint-typed]) walks the project call graph from [decide_fn] and
+    fails the build if any registered decider or anything it reaches
+    violates the contract.  When adding a decider, register it here and
+    run [make lint-typed] over the whole tree so the certification can
+    see every unit the new decider calls into. *)
 
 type decider =
   | Lowest_slot  (** [Attacker.lowest_slot], the paper's eavesdropper *)

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md "Reproducing the paper".
 
-.PHONY: build test lint lint-typed bench bench-smoke bench-determinism chaos-smoke scale-smoke couple-smoke serve-smoke clean
+.PHONY: build test lint lint-typed bench bench-smoke bench-determinism chaos-smoke scale-smoke couple-smoke serve-smoke attack-smoke clean
 
 build:
 	dune build @all
@@ -99,6 +99,24 @@ serve-smoke:
 	  --domains 1 --cache-dir _build/serve_cache_a > _build/serve_warm.out
 	diff -u _build/serve_d1.out _build/serve_warm.out
 	@echo "serve answers byte-identical across domain counts and warm cache"
+
+# Adversary-zoo end-to-end: a mixed exhaustive/Monte-Carlo query file
+# (every attacker class, one duplicate line for the MC cache) served at one
+# and two domains must print byte-identical JSON answer lines, and a warm
+# rerun over the first run's disk cache must reproduce the cold output.
+attack-smoke:
+	printf 'dim=7 seed=1\ndim=7 seed=1 attacker=global mc=64\ndim=7 seed=2 attacker=coop:3 mc=64\ndim=9 seed=2 attacker=sector-phantom mc=128\ndim=7 seed=1 attacker=local mc=64\ndim=7 seed=1 attacker=global mc=64\n' \
+	  > _build/attack_queries.txt
+	rm -rf _build/attack_cache_a _build/attack_cache_b
+	dune exec bin/slp_das_cli.exe -- serve _build/attack_queries.txt \
+	  --domains 1 --cache-dir _build/attack_cache_a > _build/attack_d1.out
+	dune exec bin/slp_das_cli.exe -- serve _build/attack_queries.txt \
+	  --domains 2 --cache-dir _build/attack_cache_b > _build/attack_d2.out
+	diff -u _build/attack_d1.out _build/attack_d2.out
+	dune exec bin/slp_das_cli.exe -- serve _build/attack_queries.txt \
+	  --domains 1 --cache-dir _build/attack_cache_a > _build/attack_warm.out
+	diff -u _build/attack_d1.out _build/attack_warm.out
+	@echo "MC certification byte-identical across domain counts and warm cache"
 
 clean:
 	dune clean

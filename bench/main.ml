@@ -959,6 +959,164 @@ let verify_service () =
     with Sys_error _ -> ()
   end
 
+(* Adversary zoo: Monte-Carlo certification per attacker class on the
+   paper's 11x11 grid.  The capture/bound columns are seed-determined and
+   domain-invariant (printed always); throughput and the committed
+   bench_results/BENCH_attack.json are micro-mode only.  The local class is
+   additionally checked against the exhaustive verifier — its verdict must
+   not contradict the sampled captures. *)
+let attack_certification () =
+  section "Attacker classes: Monte-Carlo certification (11x11, 256 trials)";
+  let topology = Slpdas_wsn.Topology.grid 11 in
+  let g = topology.Slpdas_wsn.Topology.graph in
+  let sink = topology.Slpdas_wsn.Topology.sink in
+  let source = topology.Slpdas_wsn.Topology.source in
+  let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
+  let safety_period = Slpdas_core.Safety.safety_periods ~delta_ss () in
+  let att = attacker ~start:sink in
+  let trials = 256 in
+  let classes =
+    [
+      Slpdas_attack.Model.Local;
+      Slpdas_attack.Model.Global;
+      Slpdas_attack.Model.Coop 3;
+      Slpdas_attack.Model.Sector_phantom;
+    ]
+  in
+  let schedules =
+    List.init 8 (fun i ->
+        (Slpdas_core.Das_build.build
+           ~rng:(Slpdas_util.Rng.create (4000 + i))
+           g ~sink)
+          .Slpdas_core.Das_build.schedule)
+  in
+  let items =
+    List.concat_map
+      (fun cls ->
+        List.map
+          (fun schedule ->
+            {
+              Slpdas_serve.Batch.mc_graph = g;
+              mc_schedule = schedule;
+              cls;
+              mc_attacker = att;
+              trials;
+              seed = 77;
+              mc_safety_period = safety_period;
+              mc_source = source;
+            })
+          schedules)
+      classes
+  in
+  let n_queries = List.length items in
+  let service = Slpdas_serve.Service.create () in
+  let t0 = Unix.gettimeofday () in
+  let cold = Slpdas_serve.Batch.run_many_mc ~domains service items in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let warm = ref cold and warm_s = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    warm := Slpdas_serve.Batch.run_many_mc ~domains service items;
+    warm_s := Float.min !warm_s (Unix.gettimeofday () -. t0)
+  done;
+  let warm_s = !warm_s in
+  let stable = List.for_all2 Slpdas_serve.Mc_query.answer_equal cold !warm in
+  (* Aggregate per class over the schedule ensemble, in class order. *)
+  let per_class =
+    List.mapi
+      (fun ci cls ->
+        let answers =
+          List.filteri
+            (fun i _ -> i / List.length schedules = ci)
+            cold
+        in
+        let caught =
+          List.length
+            (List.filter
+               (fun (r : Slpdas_attack.Mc_verify.result) ->
+                 r.Slpdas_attack.Mc_verify.captures > 0)
+               answers)
+        in
+        let worst =
+          List.fold_left
+            (fun acc (r : Slpdas_attack.Mc_verify.result) ->
+              Float.max acc r.Slpdas_attack.Mc_verify.wilson_high)
+            0. answers
+        in
+        (cls, answers, caught, worst))
+      classes
+  in
+  emit ~name:"attack_certification"
+    ~header:
+      [ "class"; "schedules"; "capturing"; "worst p (Wilson hi)"; "trials" ]
+    (List.map
+       (fun (cls, answers, caught, worst) ->
+         [
+           Slpdas_attack.Model.to_string cls;
+           string_of_int (List.length answers);
+           string_of_int caught;
+           Printf.sprintf "%.4f" worst;
+           string_of_int trials;
+         ])
+       per_class);
+  (* Exhaustive cross-check for the local class: sampled captures on a
+     schedule imply the exhaustive verdict is Captured. *)
+  let consistent =
+    List.for_all2
+      (fun schedule (r : Slpdas_attack.Mc_verify.result) ->
+        match
+          ( Slpdas_core.Verifier.verify g schedule ~attacker:att
+              ~safety_period ~source,
+            r.Slpdas_attack.Mc_verify.captures )
+        with
+        | Slpdas_core.Verifier.Safe, c -> c = 0
+        | Slpdas_core.Verifier.Captured _, _ -> true)
+      schedules
+      (List.filteri (fun i _ -> i < List.length schedules) cold)
+  in
+  Printf.printf "local MC consistent with exhaustive verifier: %s\n"
+    (if consistent then "yes" else "NO");
+  Printf.printf "warm replay answers identical: %s\n"
+    (if stable then "yes" else "NO");
+  if micro_mode then begin
+    let qps s = float_of_int n_queries /. Float.max s 1e-9 in
+    Printf.printf
+      "%d certifications (%d classes x %d schedules): cold %.1f ms (%.0f/s), \
+       warm %.1f ms (%.0f/s)\n"
+      n_queries (List.length classes) (List.length schedules)
+      (1000. *. cold_s) (qps cold_s) (1000. *. warm_s) (qps warm_s);
+    (try
+       if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+     with Sys_error _ -> ());
+    try
+      let oc = open_out (Filename.concat results_dir "BENCH_attack.json") in
+      Printf.fprintf oc
+        "{\n\
+        \  \"unit\": \"seconds per pass, warm = best of 3\",\n\
+        \  \"grid\": 11,\n\
+        \  \"domains\": %d,\n\
+        \  \"trials\": %d,\n\
+        \  \"certifications\": %d,\n\
+        \  \"cold_s\": %.6f,\n\
+        \  \"warm_s\": %.6f,\n\
+        \  \"cold_qps\": %.1f,\n\
+        \  \"warm_qps\": %.1f,\n\
+        \  \"classes\": [\n"
+        domains trials n_queries cold_s warm_s (qps cold_s) (qps warm_s);
+      List.iteri
+        (fun i (cls, answers, caught, worst) ->
+          Printf.fprintf oc
+            "    {\"class\": %S, \"schedules\": %d, \"capturing\": %d, \
+             \"worst_wilson_high\": %.4f}%s\n"
+            (Slpdas_attack.Model.to_string cls)
+            (List.length answers) caught worst
+            (if i = List.length per_class - 1 then "" else ","))
+        per_class;
+      output_string oc "  ]\n}\n";
+      close_out oc
+    with Sys_error _ -> ()
+  end
+
 let ablation_topologies () =
   section
     "Ablation: beyond the paper's 4-connected grid (centralized x200, gap=2)";
@@ -1652,6 +1810,7 @@ let () =
   ablation_builders ();
   ablation_verifier_cost ();
   timed "verify_service" verify_service;
+  timed "attack_certification" attack_certification;
   ablation_topologies ();
   ablation_das_validity ();
   if micro_mode then begin

@@ -51,6 +51,40 @@ let events_json_arg =
     & opt (some string) None
     & info [ "events-json" ] ~docv:"FILE" ~doc)
 
+(* Adversary class: shared by simulate/phantom/fake/sector/verify/chaos and
+   the serve query language, so every subcommand accepts exactly the
+   registry's names and prints the same error for an unknown one. *)
+let attacker_cls_conv =
+  let parse s =
+    match Slpdas_attack.Model.of_string s with
+    | Ok cls -> Ok cls
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf cls =
+    Format.pp_print_string ppf (Slpdas_attack.Model.to_string cls)
+  in
+  Arg.conv (parse, print)
+
+let attacker_cls_arg =
+  let doc =
+    Printf.sprintf
+      "Adversary class: %s.  $(b,local) is the paper's single eavesdropper; \
+       the others observe through the same event-bus interface."
+      (String.concat ", " Slpdas_attack.Model.all_names)
+  in
+  Arg.(
+    value
+    & opt attacker_cls_conv Slpdas_attack.Model.Local
+    & info [ "attacker" ] ~docv:"CLASS" ~doc)
+
+let mc_trials_arg =
+  let doc =
+    "Monte-Carlo certification trials.  0 (the default) keeps the \
+     exhaustive verifier; any non-local $(b,--attacker) class requires a \
+     positive trial count."
+  in
+  Arg.(value & opt int 0 & info [ "mc-trials" ] ~docv:"N" ~doc)
+
 (* The attacker's (R, H, M) budget, one triple of terms. *)
 let attacker_args =
   let r =

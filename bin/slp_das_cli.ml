@@ -145,7 +145,7 @@ let coverage_cmd =
 
 let verify_cmd =
   let r_arg, h_arg, m_arg = attacker_args in
-  let run dim seed slp sd gap r h m cache_dir =
+  let run dim seed slp sd gap r h m cls mc_trials cache_dir =
     let topo = topology_of_dim dim in
     let g = topo.Slpdas_wsn.Topology.graph in
     let schedule, _ = build_schedule ~topo ~seed ~slp ~sd ~gap in
@@ -156,35 +156,70 @@ let verify_cmd =
     in
     Format.printf "safety period: %d TDMA periods@." safety_period;
     let service = Slpdas_serve.Service.create ?cache_dir () in
-    let outcome, explored =
-      Slpdas_serve.Service.verify_stats service g schedule ~attacker
-        ~safety_period ~source:topo.Slpdas_wsn.Topology.source
-    in
-    (match outcome with
-    | Slpdas_core.Verifier.Safe ->
-      Format.printf "verdict: SLP-aware (no admissible trace captures)@."
-    | Slpdas_core.Verifier.Captured { trace; periods } ->
-      Format.printf "verdict: CAPTURED in %d periods@." periods;
-      Format.printf "counterexample: %s@."
-        (String.concat " -> " (List.map string_of_int trace)));
-    Format.printf "explored: %d attacker states@." explored;
+    let use_mc = mc_trials > 0 || cls <> Slpdas_attack.Model.Local in
+    if use_mc then begin
+      (* Exhaustive search does not scale to the non-local classes; certify
+         by seeded Monte-Carlo with Wilson bounds instead. *)
+      let trials = if mc_trials > 0 then mc_trials else 256 in
+      let res =
+        Slpdas_serve.Service.mc_certify service g schedule ~cls ~attacker
+          ~trials ~seed ~safety_period
+          ~source:topo.Slpdas_wsn.Topology.source
+      in
+      Format.printf "attacker: %s; %d Monte-Carlo trials (seed %d)@."
+        (Slpdas_attack.Model.to_string cls)
+        res.Slpdas_attack.Mc_verify.trials seed;
+      Format.printf
+        "capture probability: %.4f (95%% Wilson [%.4f, %.4f]); %d/%d trials@."
+        res.Slpdas_attack.Mc_verify.p_hat
+        res.Slpdas_attack.Mc_verify.wilson_low
+        res.Slpdas_attack.Mc_verify.wilson_high
+        res.Slpdas_attack.Mc_verify.captures
+        res.Slpdas_attack.Mc_verify.trials;
+      match res.Slpdas_attack.Mc_verify.min_periods with
+      | Some p -> Format.printf "fastest sampled capture: %d periods@." p
+      | None ->
+        Format.printf
+          "verdict: no trial captured within the safety period@."
+    end
+    else begin
+      let outcome, explored =
+        Slpdas_serve.Service.verify_stats service g schedule ~attacker
+          ~safety_period ~source:topo.Slpdas_wsn.Topology.source
+      in
+      (match outcome with
+      | Slpdas_core.Verifier.Safe ->
+        Format.printf "verdict: SLP-aware (no admissible trace captures)@."
+      | Slpdas_core.Verifier.Captured { trace; periods } ->
+        Format.printf "verdict: CAPTURED in %d periods@." periods;
+        Format.printf "counterexample: %s@."
+          (String.concat " -> " (List.map string_of_int trace)));
+      Format.printf "explored: %d attacker states@." explored
+    end;
     let stats = Slpdas_serve.Service.stats service in
-    if stats.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits > 0 then
+    if
+      stats.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits
+      + stats.Slpdas_serve.Service.mc.Slpdas_serve.Cache.disk_hits
+      > 0
+    then
       Format.printf "(answered from %s)@."
         (Option.value cache_dir ~default:"cache")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Run VerifySchedule (Algorithm 1)")
+    (Cmd.info "verify"
+       ~doc:
+         "Run VerifySchedule (Algorithm 1), or certify a non-local attacker \
+          by seeded Monte-Carlo")
     Term.(
       const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ r_arg
-      $ h_arg $ m_arg $ cache_dir_arg)
+      $ h_arg $ m_arg $ attacker_cls_arg $ mc_trials_arg $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run dim seed slp sd gap trace_count events_json =
+  let run dim seed slp sd gap cls trace_count events_json =
     let topo = topology_of_dim dim in
     let mode =
       if slp then Slpdas_core.Protocol.Slp
@@ -194,6 +229,7 @@ let simulate_cmd =
       {
         (Slpdas_exp.Runner.default_config ~topology:topo ~mode ~seed) with
         Slpdas_exp.Runner.params = params_of ~sd ~gap;
+        hunter = cls;
       }
     in
     (* Keep only the first [trace_count] transmissions: that is all the
@@ -221,8 +257,9 @@ let simulate_cmd =
           Format.printf "  %8.3f  node %-4d %s@." time sender label)
         (List.rev !trace)
     end;
-    Format.printf "mode: %s; seed %d; dss=%d; safety period %.1fs@."
+    Format.printf "mode: %s; attacker %s; seed %d; dss=%d; safety period %.1fs@."
       (if slp then "SLP DAS" else "protectionless DAS")
+      (Slpdas_attack.Model.to_string cls)
       seed r.Slpdas_exp.Runner.delta_ss r.Slpdas_exp.Runner.safety_seconds;
     Format.printf "schedule: complete=%b strong=%b weak=%b@."
       r.Slpdas_exp.Runner.complete r.Slpdas_exp.Runner.strong_das
@@ -249,15 +286,15 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"One full discrete-event run")
     Term.(
-      const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg $ trace_arg
-      $ events_json_arg)
+      const run $ dim_arg $ seed_arg $ slp_arg $ sd_arg $ gap_arg
+      $ attacker_cls_arg $ trace_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* phantom                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let phantom_cmd =
-  let run dim runs walk_length domains events_json =
+  let run dim runs walk_length cls domains events_json =
     let topo = topology_of_dim dim in
     let configs =
       List.init runs (fun seed ->
@@ -269,7 +306,8 @@ let phantom_cmd =
           })
     in
     let results, counters =
-      Slpdas_exp.Phantom_runner.run_many_with_events ?domains configs
+      Slpdas_exp.Phantom_runner.run_many_with_events ?domains ~hunter:cls
+        configs
     in
     let captures = ref 0 and times = ref [] and msgs = ref 0 in
     let n_nodes = Slpdas_wsn.Graph.n topo.Slpdas_wsn.Topology.graph in
@@ -312,14 +350,15 @@ let phantom_cmd =
     (Cmd.info "phantom"
        ~doc:"Run the routing-layer phantom baseline (related work, SII)")
     Term.(
-      const run $ dim_arg $ runs_arg $ walk_arg $ domains_arg $ events_json_arg)
+      const run $ dim_arg $ runs_arg $ walk_arg $ attacker_cls_arg
+      $ domains_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fake sources                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let fake_cmd =
-  let run dim runs rate domains events_json =
+  let run dim runs rate cls domains events_json =
     let topo = topology_of_dim dim in
     let corners = Slpdas_core.Fake_source.opposite_corners topo ~dim in
     let configs =
@@ -333,7 +372,7 @@ let fake_cmd =
           })
     in
     let results, counters =
-      Slpdas_exp.Fake_runner.run_many_with_events ?domains configs
+      Slpdas_exp.Fake_runner.run_many_with_events ?domains ~hunter:cls configs
     in
     let captures = ref 0 and msgs = ref 0 and real = ref 0 in
     let n_nodes = Slpdas_wsn.Graph.n topo.Slpdas_wsn.Topology.graph in
@@ -371,14 +410,89 @@ let fake_cmd =
     (Cmd.info "fake"
        ~doc:"Run the fake-source baseline (related work, SII refs [10]-[12])")
     Term.(
-      const run $ dim_arg $ runs_arg $ rate_arg $ domains_arg $ events_json_arg)
+      const run $ dim_arg $ runs_arg $ rate_arg $ attacker_cls_arg
+      $ domains_arg $ events_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sector phantom                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sector_cmd =
+  let run dim runs walk_length num_sectors cls domains events_json =
+    let topo = topology_of_dim dim in
+    let configs =
+      List.init runs (fun seed ->
+          {
+            Slpdas_exp.Sector_runner.topology = topo;
+            walk_length;
+            num_sectors;
+            link = Slpdas_sim.Link_model.Ideal;
+            seed;
+          })
+    in
+    let results, counters =
+      Slpdas_exp.Sector_runner.run_many_with_events ?domains ~hunter:cls
+        configs
+    in
+    let captures = ref 0 and times = ref [] and msgs = ref 0 in
+    let n_nodes = Slpdas_wsn.Graph.n topo.Slpdas_wsn.Topology.graph in
+    let tx_by_node = Array.make n_nodes 0 in
+    let duration = ref 0.0 in
+    List.iter
+      (fun r ->
+        if r.Slpdas_exp.Sector_runner.captured then begin
+          incr captures;
+          match r.Slpdas_exp.Sector_runner.capture_seconds with
+          | Some t -> times := t :: !times
+          | None -> ()
+        end;
+        msgs := !msgs + r.Slpdas_exp.Sector_runner.messages_sent;
+        Array.iteri
+          (fun i c -> tx_by_node.(i) <- tx_by_node.(i) + c)
+          r.Slpdas_exp.Sector_runner.broadcasts_by_node;
+        duration := !duration +. r.Slpdas_exp.Sector_runner.duration_seconds)
+      results;
+    Format.printf
+      "sector phantom (walk %d, %d sectors) on %dx%d over %d runs:@.  \
+       capture ratio %.1f%%@."
+      walk_length num_sectors dim dim runs
+      (100.0 *. float_of_int !captures /. float_of_int runs);
+    (match !times with
+    | [] -> ()
+    | ts ->
+      Format.printf "  mean capture time %.1fs@." (Slpdas_util.Stats.mean ts));
+    Format.printf "  mean transmissions per run %d@." (!msgs / max 1 runs);
+    print_energy ~runs topo.Slpdas_wsn.Topology.graph
+      ~broadcasts_by_node:tx_by_node ~duration_seconds:!duration;
+    write_events_json events_json counters
+  in
+  let walk_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "walk" ] ~docv:"W"
+          ~doc:"Sector-directed random-walk length (0 = pure flooding).")
+  in
+  let sectors_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "sectors" ] ~docv:"S"
+          ~doc:"Angular sectors the phantom walk picks from (PSSPR uses 8).")
+  in
+  Cmd.v
+    (Cmd.info "sector"
+       ~doc:
+         "Run the PSSPR-style sector phantom baseline (related work, third \
+          comparison family)")
+    Term.(
+      const run $ dim_arg $ runs_arg $ walk_arg $ sectors_arg
+      $ attacker_cls_arg $ domains_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run dim seed runs slp sd gap plan_text detect_after crashes domains
+  let run dim seed runs slp sd gap cls plan_text detect_after crashes domains
       resilience_json events_json =
     let params = params_of ~sd ~gap in
     let plan =
@@ -399,7 +513,8 @@ let chaos_cmd =
     let configs =
       List.init runs (fun i ->
           {
-            (Slpdas_fault.Churn.default_config ~mode ~dim ~seed:(seed + i) plan) with
+            (Slpdas_fault.Churn.default_config ~mode ~attacker:cls ~dim
+               ~seed:(seed + i) plan) with
             Slpdas_fault.Churn.params;
             detect_after;
           })
@@ -458,8 +573,8 @@ let chaos_cmd =
        ~doc:"Seeded fault-injection runs with schedule-repair metrics")
     Term.(
       const run $ dim_arg $ seed_arg $ runs_arg $ slp_arg $ sd_arg $ gap_arg
-      $ plan_arg $ detect_arg $ crashes_arg $ domains_arg $ resilience_json_arg
-      $ events_json_arg)
+      $ attacker_cls_arg $ plan_arg $ detect_arg $ crashes_arg $ domains_arg
+      $ resilience_json_arg $ events_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -745,10 +860,13 @@ let scale_cmd =
 (* One query per line, whitespace-separated key=value tokens:
 
      dim=11 seed=1 slp=true sd=3 gap=1 r=1 h=0 m=2 decide=history-avoiding
+     dim=11 seed=1 slp=true attacker=global mc=128
 
    Unknown keys are an error; omitted keys default like the verify
    subcommand's flags ([safety] defaults to Eq. 1 on the line's topology,
-   [source] to the topology's source).  '#' starts a comment. *)
+   [source] to the topology's source).  [mc=N] (N > 0) switches the line to
+   Monte-Carlo certification — mandatory for any non-local [attacker] class,
+   whose exhaustive state space explodes.  '#' starts a comment. *)
 type serve_query = {
   q_line : int;
   q_dim : int;
@@ -760,6 +878,8 @@ type serve_query = {
   q_h : int;
   q_m : int;
   q_decide : string;
+  q_attacker : Slpdas_attack.Model.cls;
+  q_mc : int;  (* 0 = exhaustive *)
   q_safety : int option;
   q_source : int option;
 }
@@ -778,6 +898,8 @@ let parse_serve_query ~line_no line =
         q_h = 0;
         q_m = 1;
         q_decide = "lowest-slot";
+        q_attacker = Slpdas_attack.Model.Local;
+        q_mc = 0;
         q_safety = None;
         q_source = None;
       }
@@ -821,13 +943,26 @@ let parse_serve_query ~line_no line =
             (match Slpdas_serve.Query.decider_of_name v with
             | Some _ -> Ok (q := { !q with q_decide = v })
             | None -> fail "line %d: unknown decider %S" line_no v)
+          | "attacker" ->
+            (match Slpdas_attack.Model.of_string v with
+            | Ok cls -> Ok (q := { !q with q_attacker = cls })
+            | Error msg -> fail "line %d: %s" line_no msg)
+          | "mc" -> set_int (fun n -> { !q with q_mc = n })
           | _ -> fail "line %d: unknown key %S" line_no k
         in
         Result.bind r (fun () -> go rest))
   in
-  go tokens
+  Result.bind (go tokens) (fun q ->
+      if q.q_attacker <> Slpdas_attack.Model.Local && q.q_mc <= 0 then
+        fail "line %d: attacker=%s requires mc=<trials> (> 0)" line_no
+          (Slpdas_attack.Model.to_string q.q_attacker)
+      else Ok q)
 
-let serve_item sq =
+type serve_job =
+  | Exhaustive of Slpdas_serve.Batch.item
+  | Mc of Slpdas_serve.Batch.mc_item
+
+let serve_job sq =
   let topo = topology_of_dim sq.q_dim in
   let g = topo.Slpdas_wsn.Topology.graph in
   let schedule, _ =
@@ -852,19 +987,53 @@ let serve_item sq =
   let source =
     Option.value sq.q_source ~default:topo.Slpdas_wsn.Topology.source
   in
-  { Slpdas_serve.Batch.graph = g; schedule; attacker; safety_period; source }
+  if sq.q_mc > 0 then
+    Mc
+      {
+        Slpdas_serve.Batch.mc_graph = g;
+        mc_schedule = schedule;
+        cls = sq.q_attacker;
+        mc_attacker = attacker;
+        trials = sq.q_mc;
+        seed = sq.q_seed;
+        mc_safety_period = safety_period;
+        mc_source = source;
+      }
+  else
+    Exhaustive
+      { Slpdas_serve.Batch.graph = g; schedule; attacker; safety_period;
+        source }
 
-let print_serve_answer sq (a : Slpdas_serve.Query.answer) =
-  match a.Slpdas_serve.Query.outcome with
-  | Slpdas_core.Verifier.Safe ->
-    Printf.printf "{\"line\": %d, \"outcome\": \"safe\", \"explored\": %d}\n"
-      sq.q_line a.Slpdas_serve.Query.explored
-  | Slpdas_core.Verifier.Captured { trace; periods } ->
+type serve_answer =
+  | Exhaustive_answer of Slpdas_serve.Query.answer
+  | Mc_answer of Slpdas_attack.Mc_verify.result
+
+let print_serve_answer sq answer =
+  match answer with
+  | Exhaustive_answer a ->
+    (match a.Slpdas_serve.Query.outcome with
+    | Slpdas_core.Verifier.Safe ->
+      Printf.printf "{\"line\": %d, \"outcome\": \"safe\", \"explored\": %d}\n"
+        sq.q_line a.Slpdas_serve.Query.explored
+    | Slpdas_core.Verifier.Captured { trace; periods } ->
+      Printf.printf
+        "{\"line\": %d, \"outcome\": \"captured\", \"periods\": %d, \
+         \"explored\": %d, \"trace\": [%s]}\n"
+        sq.q_line periods a.Slpdas_serve.Query.explored
+        (String.concat ", " (List.map string_of_int trace)))
+  | Mc_answer r ->
     Printf.printf
-      "{\"line\": %d, \"outcome\": \"captured\", \"periods\": %d, \
-       \"explored\": %d, \"trace\": [%s]}\n"
-      sq.q_line periods a.Slpdas_serve.Query.explored
-      (String.concat ", " (List.map string_of_int trace))
+      "{\"line\": %d, \"attacker\": %S, \"trials\": %d, \"captures\": %d, \
+       \"p_hat\": %.6f, \"wilson_low\": %.6f, \"wilson_high\": %.6f, \
+       \"min_periods\": %s}\n"
+      sq.q_line
+      (Slpdas_attack.Model.to_string sq.q_attacker)
+      r.Slpdas_attack.Mc_verify.trials r.Slpdas_attack.Mc_verify.captures
+      r.Slpdas_attack.Mc_verify.p_hat r.Slpdas_attack.Mc_verify.wilson_low
+      r.Slpdas_attack.Mc_verify.wilson_high
+      (match r.Slpdas_attack.Mc_verify.min_periods with
+      | None -> "null"
+      | Some p -> string_of_int p)
 
 let serve_cmd =
   let run file cache_dir domains =
@@ -896,12 +1065,42 @@ let serve_cmd =
        done
      with End_of_file -> close ());
     let queries = List.rev !queries in
-    let items = List.map serve_item queries in
+    let jobs = List.map serve_job queries in
     let service = Slpdas_serve.Service.create ?cache_dir () in
     let domains =
       match domains with Some d -> d | None -> Slpdas_util.Pool.recommended ()
     in
-    let answers = Slpdas_serve.Batch.run_many ~domains service items in
+    (* Fan each kind through its own batch (both keep cache traffic in this
+       domain), then reinterleave answers into input line order. *)
+    let exhaustive_rev = ref [] and mc_rev = ref [] in
+    List.iter
+      (fun job ->
+        match job with
+        | Exhaustive it -> exhaustive_rev := it :: !exhaustive_rev
+        | Mc it -> mc_rev := it :: !mc_rev)
+      jobs;
+    let exhaustive_answers =
+      ref
+        (Slpdas_serve.Batch.run_many ~domains service
+           (List.rev !exhaustive_rev))
+    in
+    let mc_answers =
+      ref (Slpdas_serve.Batch.run_many_mc ~domains service (List.rev !mc_rev))
+    in
+    let answers =
+      List.map
+        (fun job ->
+          match job with
+          | Exhaustive _ ->
+            let a = List.hd !exhaustive_answers in
+            exhaustive_answers := List.tl !exhaustive_answers;
+            Exhaustive_answer a
+          | Mc _ ->
+            let a = List.hd !mc_answers in
+            mc_answers := List.tl !mc_answers;
+            Mc_answer a)
+        jobs
+    in
     List.iter2 print_serve_answer queries answers;
     (* Stats go to stderr: stdout carries only the semantic answers, so a
        warm rerun is byte-identical to a cold one. *)
@@ -909,8 +1108,10 @@ let serve_cmd =
     Printf.eprintf
       "serve: %d queries, %d verified, %d memory hits, %d disk hits\n"
       s.Slpdas_serve.Service.served s.Slpdas_serve.Service.computed
-      s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.hits
-      s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits
+      (s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.hits
+      + s.Slpdas_serve.Service.mc.Slpdas_serve.Cache.hits)
+      (s.Slpdas_serve.Service.cache.Slpdas_serve.Cache.disk_hits
+      + s.Slpdas_serve.Service.mc.Slpdas_serve.Cache.disk_hits)
   in
   let file_arg =
     Arg.(
@@ -1023,6 +1224,7 @@ let () =
             simulate_cmd;
             phantom_cmd;
             fake_cmd;
+            sector_cmd;
             chaos_cmd;
             experiment_cmd;
             scale_cmd;

@@ -1,0 +1,69 @@
+(* The adversary registry: which eavesdropper is hunting the source.
+
+   [Local] is the paper's single distributed eavesdropper; the other three
+   come from the related work (globally attacked networks, cooperating
+   patrols, PSSPR sector patrols).  Every class shares the observation
+   interface of {!Hunter} — a fold over [Broadcast] events — so runners,
+   the coupled sharded engine and the Monte-Carlo certifier are all
+   parameterised by a [cls] value rather than a hard-coded hunter. *)
+
+type cls =
+  | Local
+  | Global
+  | Coop of int
+  | Sector_phantom
+
+let to_string = function
+  | Local -> "local"
+  | Global -> "global"
+  | Coop k -> Printf.sprintf "coop:%d" k
+  | Sector_phantom -> "sector-phantom"
+
+let all_names = [ "local"; "global"; "coop:<k>"; "sector-phantom" ]
+
+let of_string s =
+  let invalid () =
+    Error
+      (Printf.sprintf "unknown attacker class %S (valid: %s)" s
+         (String.concat ", " all_names))
+  in
+  match s with
+  | "local" -> Ok Local
+  | "global" -> Ok Global
+  | "sector-phantom" -> Ok Sector_phantom
+  | _ ->
+    if String.length s > 5 && String.sub s 0 5 = "coop:" then
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some k when k >= 1 -> Ok (Coop k)
+      | Some _ | None -> invalid ()
+    else invalid ()
+
+let equal a b =
+  match (a, b) with
+  | Local, Local | Global, Global | Sector_phantom, Sector_phantom -> true
+  | Coop a, Coop b -> a = b
+  | _ -> false
+
+(* Digest-key fragment: [to_string] is already canonical (one spelling per
+   class) and free of the '|' separator used by serve keys. *)
+let key_fragment = to_string
+
+(* Seed-deterministic placement for [Coop k]: walker 0 keeps the classic
+   start (the sink), the rest take the first [k - 1] entries of a seeded
+   Fisher-Yates shuffle of the remaining vertices.  Independent of domain
+   or cell count because it only reads the topology and the seed. *)
+let placements ~n ~start ~seed k =
+  if k < 1 then invalid_arg "Model.placements: k < 1";
+  if n < 2 && k > 1 then invalid_arg "Model.placements: graph too small";
+  let others = Array.make (max 0 (n - 1)) 0 in
+  let j = ref 0 in
+  for v = 0 to n - 1 do
+    if v <> start then begin
+      others.(!j) <- v;
+      incr j
+    end
+  done;
+  let rng = Slpdas_util.Rng.create (seed lxor 0x51ac_0b5) in
+  Slpdas_util.Rng.shuffle rng others;
+  Array.init k (fun i ->
+      if i = 0 then start else others.((i - 1) mod Array.length others))

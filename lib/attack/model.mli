@@ -1,0 +1,47 @@
+(** The adversary registry.
+
+    Four typed adversary models share the single observation interface of
+    {!Hunter} (a fold over [Broadcast] events on the simulation bus):
+
+    - [Local] — the paper's single distributed eavesdropper: starts at the
+      sink, moves to the sender of each freshly-heard audible message.
+      Ported bit-identically from the original hard-coded hunter; all
+      existing traces and verdicts are unchanged.
+    - [Global] — sees {e every} transmission.  It fixes its source estimate
+      from first-transmission timing (the sender of the earliest observed
+      data transmission) and walks the lexicographically-least shortest
+      path towards it, one hop per subsequent observation.
+    - [Coop k] — [k] cooperating local eavesdroppers with seed-deterministic
+      placement and a shared, mergeable observation history: a message id
+      acted on by one walker is burned for all of them.
+    - [Sector_phantom] — a PSSPR-style patrol: behaves like [Local] on fresh
+      audible messages, and on stale ones patrols one hop towards the
+      angular sector (relative to its starting position) with the highest
+      observed transmission activity. *)
+
+type cls =
+  | Local
+  | Global
+  | Coop of int  (** number of cooperating walkers, [>= 1] *)
+  | Sector_phantom
+
+val to_string : cls -> string
+(** Canonical spelling: ["local"], ["global"], ["coop:<k>"],
+    ["sector-phantom"]. *)
+
+val of_string : string -> (cls, string) result
+(** Inverse of {!to_string}; the error message lists the valid names. *)
+
+val all_names : string list
+(** Valid spellings, for help strings and error messages. *)
+
+val equal : cls -> cls -> bool
+
+val key_fragment : cls -> string
+(** Stable fragment for serve digest keys (['|']-free). *)
+
+val placements : n:int -> start:int -> seed:int -> int -> int array
+(** [placements ~n ~start ~seed k] is the seed-deterministic initial
+    position of each of [k] cooperating walkers on an [n]-vertex graph:
+    walker 0 at [start], the rest drawn from a seeded shuffle of the other
+    vertices.  Independent of domain/cell count. *)

@@ -38,3 +38,12 @@ let describe = function
   | Data _ -> "data"
   | Neighbour_down _ -> "neighbour-down"
   | Release _ -> "release"
+
+(* Eavesdropper view of the TDMA traffic: only [Data] transmissions are
+   data-bearing, and distinct (origin, seq) pairs are distinguishable
+   ciphertexts.  Origins are node ids (< 2^24 even at the 1000x1000
+   scale), so the packing is injective. *)
+let message_id = function
+  | Data { origin; seq; _ } -> Some ((seq lsl 24) lor origin)
+  | Hello | Dissem _ | Search _ | Change _ | Neighbour_down _ | Release _ ->
+    None

@@ -53,3 +53,9 @@ val pp : Format.formatter -> t -> unit
 
 val describe : t -> string
 (** Short tag ("hello", "dissem", …) for counters and traces. *)
+
+val message_id : t -> int option
+(** The message instance a transmission belongs to, if it is data-bearing —
+    the observation an eavesdropper keys its history on ([Data] only;
+    control traffic is not attributable to a source).  Injective over
+    (origin, seq). *)

@@ -1,0 +1,58 @@
+(** PSSPR-style sector phantom routing — the third comparison family.
+
+    Chen et al.'s PSSPR observes that plain phantom walks frequently wander
+    back towards the sink, handing a patrolling eavesdropper exactly the
+    traffic it needs.  The fix: the source partitions the plane around
+    itself into [num_sectors] angular sectors, excludes the sector facing
+    the sink (and its two neighbours), and aims every message's directed
+    walk at a uniformly chosen remaining sector before the usual
+    phantom-source flood.
+
+    Everything except the direction policy — walk token forwarding, flood
+    dedup, hello discovery, sink delivery accounting — mirrors {!Phantom},
+    so capture-ratio differences between the families isolate the policy. *)
+
+module Int_set : Set.S with type elt = int
+module Int_map : Map.S with type key = int
+
+type config = {
+  sink : int;
+  source : int;
+  walk_length : int;  (** W: hops of sector-directed walk; 0 = pure flood *)
+  num_sectors : int;  (** angular partition granularity (PSSPR uses 8) *)
+  positions : (float * float) array;
+  source_period : float;
+  hop_delay : float;
+  start_time : float;
+  run_seed : int;
+}
+
+val default_config :
+  topology:Slpdas_wsn.Topology.t -> walk_length:int -> config
+(** 8 sectors, [P{_src} = 5.5 s], 20 ms hop delay, 5 s start; sink, source
+    and positions from the topology. *)
+
+type msg =
+  | Hello
+  | Walk of { id : int; ttl : int; target : int; dir : float * float }
+  | Flood of { id : int }
+
+val message_id : msg -> int option
+
+(** Per-node protocol state; transparent for harnesses and tests. *)
+type state = {
+  config : config;
+  rng : Slpdas_util.Rng.t;
+  neighbours : Int_set.t;
+  seen : Int_set.t;
+  walk_from : int Int_map.t;
+  pending_walks : (int * int * (float * float)) Int_map.t;
+  next_id : int;
+  received : int list;
+  hello_remaining : int;
+}
+
+val program : config -> self:int -> (state, msg) Slpdas_gcn.program
+
+val sink_received : state -> int list
+(** Message ids the sink has collected, oldest first. *)

@@ -27,6 +27,20 @@ type outcome =
       (** the tuple [(False, pc, p)]: [trace] starts at the attacker's start
           position and ends at the source; [periods] ≤ δ *)
 
+val successors :
+  Slpdas_wsn.Graph.t ->
+  Schedule.t ->
+  attacker:Attacker.params ->
+  loc:int ->
+  period:int ->
+  moves:int ->
+  history:int list ->
+  (int * int * int) list
+(** One attacker step from [loc]: the admissible [(location, period, moves)]
+    successors under the (R, H, M) budget — Algorithm 1's transition
+    relation.  Exposed so Monte-Carlo certification ({!Slpdas_attack}) walks
+    exactly the relation the exhaustive search explores. *)
+
 val verify :
   Slpdas_wsn.Graph.t ->
   Schedule.t ->

@@ -94,7 +94,16 @@ let centralized ?domains ~topology ~mode ~params ~attacker ~seeds () =
 let simulated ?domains ~topology ~mode ~params ~link ~attacker ~seeds () =
   let period_length = Params.period_length params in
   let config seed =
-    { Runner.topology; mode; params; link; airtime = None; attacker; seed }
+    {
+      Runner.topology;
+      mode;
+      params;
+      link;
+      airtime = None;
+      attacker;
+      hunter = Slpdas_attack.Model.Local;
+      seed;
+    }
   in
   let detail seed result =
     {

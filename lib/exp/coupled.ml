@@ -106,42 +106,26 @@ module Hunter = struct
     capture_time : float option;
   }
 
-  (* Pure replay of Scenario.Hunter over an event stream: one move per
-     distinct message, to the sender of the first transmission of that
-     message heard from the current location's 1-hop neighbourhood; done on
-     reaching [source].  The Hashtbl mirrors Scenario.Hunter's dedup table
-     and is never iterated, so replay order stays the stream's. *)
-  let fold ~graph ~start ~source ~message_id stream =
-    let location = ref start in
-    let path_rev = ref [ start ] in
-    let capture_time = ref None in
-    let acted = Hashtbl.create 64 in
-    Array.iter
-      (fun event ->
-        match event with
-        | Event.Broadcast { time; sender; msg } when !capture_time = None -> (
-          match message_id msg with
-          | Some id
-            when (not (Hashtbl.mem acted id))
-                 && (sender = !location
-                    || Slpdas_wsn.Graph.mem_edge graph !location sender) ->
-            Hashtbl.add acted id ();
-            if sender <> !location then begin
-              location := sender;
-              path_rev := sender :: !path_rev;
-              if sender = source then capture_time := Some time
-            end
-          | Some _ | None -> ())
-        | _ -> ())
-      stream;
+  (* Pure replay of the adversary zoo over an event stream: the shared
+     per-class step rule of Slpdas_attack.Hunter, with no engine side
+     effects.  The default class reproduces the classic Scenario.Hunter
+     verdict — once captured the fold ignores the stream's tail, exactly
+     as the stopped engine never produces one. *)
+  let fold ?(cls = Slpdas_attack.Model.Local) ?(seed = 0) ?(positions = [||])
+      ~graph ~start ~source ~message_id stream =
+    let v =
+      Slpdas_attack.Hunter.fold cls ~graph ~positions ~start ~source ~seed
+        ~message_id stream
+    in
     {
-      location = !location;
-      path = List.rev !path_rev;
-      capture_time = !capture_time;
+      location = v.Slpdas_attack.Hunter.location;
+      path = v.Slpdas_attack.Hunter.path;
+      capture_time = v.Slpdas_attack.Hunter.capture_time;
     }
 end
 
-let capture ?domains ?impl plan ~link ~seed ~program ~until ~start ~source
+let capture ?domains ?impl ?(hunter = Slpdas_attack.Model.Local)
+    ?(hunter_seed = 0) plan ~link ~seed ~program ~until ~start ~source
     ~message_id () =
   let t = recorder () in
   let _, merged =
@@ -149,4 +133,7 @@ let capture ?domains ?impl plan ~link ~seed ~program ~until ~start ~source
       ~program ~until
   in
   let graph = plan.Shard.base.Slpdas_wsn.Topology.graph in
-  (Hunter.fold ~graph ~start ~source ~message_id (events t), merged)
+  let positions = plan.Shard.base.Slpdas_wsn.Topology.positions in
+  ( Hunter.fold ~cls:hunter ~seed:hunter_seed ~positions ~graph ~start ~source
+      ~message_id (events t),
+    merged )

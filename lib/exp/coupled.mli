@@ -47,17 +47,25 @@ module Hunter : sig
   }
 
   val fold :
+    ?cls:Slpdas_attack.Model.cls ->
+    ?seed:int ->
+    ?positions:(float * float) array ->
     graph:Slpdas_wsn.Graph.t ->
     start:int ->
     source:int ->
     message_id:('m -> int option) ->
     'm Slpdas_sim.Event.t array ->
     result
+  (** [?cls] selects the adversary class (default the classic local
+      eavesdropper); [?seed] feeds the [Coop] placement and [?positions]
+      the sector-phantom patrol. *)
 end
 
 val capture :
   ?domains:int ->
   ?impl:Slpdas_sim.Engine.impl ->
+  ?hunter:Slpdas_attack.Model.cls ->
+  ?hunter_seed:int ->
   Slpdas_sim.Shard.plan ->
   link:Slpdas_sim.Link_model.t ->
   seed:int ->

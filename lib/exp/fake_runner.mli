@@ -31,6 +31,7 @@ type result = {
 }
 
 val scenario :
+  ?hunter:Slpdas_attack.Model.cls ->
   config ->
   ( Slpdas_core.Fake_source.state,
     Slpdas_core.Fake_source.msg,
@@ -40,18 +41,23 @@ val scenario :
 (** Package a config as a scenario value; the hunter's moves appear as
     {!Slpdas_sim.Event.Attacker_move} on the engine's event bus. *)
 
-val run : config -> result
+val run : ?hunter:Slpdas_attack.Model.cls -> config -> result
 (** [Harness.run (scenario config)].  Deterministic in [config]. *)
 
-val run_with_events : config -> result * Slpdas_sim.Event.counters
+val run_with_events :
+  ?hunter:Slpdas_attack.Model.cls -> config -> result * Slpdas_sim.Event.counters
 (** Also return the run's aggregated event counters. *)
 
-val run_many : ?domains:int -> config list -> result list
+val run_many :
+  ?domains:int -> ?hunter:Slpdas_attack.Model.cls -> config list -> result list
 (** [List.map run] over a {!Slpdas_util.Pool} (default size: the hardware's
     recommended domain count); order-preserving and independent of
     [domains]. *)
 
 val run_many_with_events :
-  ?domains:int -> config list -> result list * Slpdas_sim.Event.counters
+  ?domains:int ->
+  ?hunter:Slpdas_attack.Model.cls ->
+  config list ->
+  result list * Slpdas_sim.Event.counters
 (** Like {!run_many}, additionally merging every run's event counters in
     input order; identical for every [domains] value. *)

@@ -18,7 +18,7 @@ type result = {
   delta_ss : int;
 }
 
-let scenario config =
+let scenario ?(hunter = Slpdas_attack.Model.Local) config =
   let topology = config.topology in
   let sink = topology.Slpdas_wsn.Topology.sink in
   let source = topology.Slpdas_wsn.Topology.source in
@@ -36,7 +36,7 @@ let scenario config =
       ~delta_ss ()
   in
   let attach engine =
-    Scenario.Hunter.attach ~start:sink ~source
+    Scenario.Hunter.attach ~cls:hunter ~seed:config.seed ~start:sink ~source
       ~message_id:Slpdas_core.Phantom.message_id engine
   in
   let extract engine hunter =
@@ -69,11 +69,13 @@ let scenario config =
     ~deadline:(protocol.Slpdas_core.Phantom.start_time +. safety_seconds)
     ~attach ~extract ()
 
-let run config = Harness.run (scenario config)
+let run ?hunter config = Harness.run (scenario ?hunter config)
 
-let run_with_events config = Harness.run_with_events (scenario config)
+let run_with_events ?hunter config =
+  Harness.run_with_events (scenario ?hunter config)
 
-let run_many ?domains configs = Harness.run_many ?domains scenario configs
+let run_many ?domains ?hunter configs =
+  Harness.run_many ?domains (scenario ?hunter) configs
 
-let run_many_with_events ?domains configs =
-  Harness.run_many_with_events ?domains scenario configs
+let run_many_with_events ?domains ?hunter configs =
+  Harness.run_many_with_events ?domains (scenario ?hunter) configs

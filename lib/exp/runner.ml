@@ -5,6 +5,7 @@ type config = {
   link : Slpdas_sim.Link_model.t;
   airtime : float option;
   attacker : start:int -> Slpdas_core.Attacker.params;
+  hunter : Slpdas_attack.Model.cls;
   seed : int;
 }
 
@@ -16,6 +17,7 @@ let default_config ~topology ~mode ~seed =
     link = Slpdas_sim.Link_model.Ideal;
     airtime = None;
     attacker = (fun ~start -> Slpdas_core.Attacker.canonical ~start);
+    hunter = Slpdas_attack.Model.Local;
     seed;
   }
 
@@ -40,8 +42,15 @@ type result = {
   mean_latency_periods : float option;
 }
 
+(* The paper's declarative (R, H, M) attacker keeps its slot-based state
+   machine; every other adversary class observes the bus through the zoo's
+   shared interface. *)
+type watcher =
+  | Paper of Slpdas_core.Attacker.State.t
+  | Zoo of Slpdas_attack.Hunter.t
+
 type observation = {
-  attacker : Slpdas_core.Attacker.State.t;
+  watcher : watcher;
   capture_time : float option ref;
   setup_messages : int ref;
   extracted : Slpdas_core.Schedule.t option ref;
@@ -71,10 +80,22 @@ let scenario config =
          ~source_period:config.params.Params.source_period)
   in
   let attach engine =
+    let watcher =
+      match config.hunter with
+      | Slpdas_attack.Model.Local ->
+        Paper (Slpdas_core.Attacker.State.create (config.attacker ~start:sink))
+      | cls ->
+        (* Zoo classes key their history on [Data] message ids, which only
+           flow once the source activates, so no explicit phase filter is
+           needed; the hunter stops the engine on capture itself. *)
+        Zoo
+          (Slpdas_attack.Hunter.attach cls ~start:sink ~source
+             ~seed:config.seed ~message_id:Slpdas_core.Messages.message_id
+             engine)
+    in
     let obs =
       {
-        attacker =
-          Slpdas_core.Attacker.State.create (config.attacker ~start:sink);
+        watcher;
         capture_time = ref None;
         setup_messages = ref 0;
         extracted = ref None;
@@ -82,47 +103,59 @@ let scenario config =
     in
     Slpdas_sim.Engine.emit engine
       (Slpdas_sim.Event.Phase_transition { time = 0.0; phase = "setup" });
-    let check_capture () =
-      if
-        !(obs.capture_time) = None
-        && Slpdas_core.Attacker.State.location obs.attacker = source
-      then begin
-        obs.capture_time :=
-          Some (Slpdas_sim.Engine.time engine -. normal_start);
-        Slpdas_sim.Engine.stop engine
-      end
-    in
-    (* Flush a pending decision; on a move, publish it on the event bus. *)
-    let decide () =
-      let from_node = Slpdas_core.Attacker.State.location obs.attacker in
-      if Slpdas_core.Attacker.State.decide obs.attacker then begin
-        Slpdas_sim.Engine.emit engine
-          (Slpdas_sim.Event.Attacker_move
-             {
-               time = Slpdas_sim.Engine.time engine;
-               from_node;
-               to_node = Slpdas_core.Attacker.State.location obs.attacker;
-             });
-        check_capture ()
-      end
-    in
-    (* The attacker eavesdrops every transmission audible from its position
-       once the source is active; with R captured messages it decides a move
-       (Fig. 1). *)
-    Slpdas_sim.Engine.subscribe engine (function
-      | Slpdas_sim.Event.Broadcast { time; sender; msg = _ }
-        when time >= normal_start && !(obs.capture_time) = None ->
-        let loc = Slpdas_core.Attacker.State.location obs.attacker in
-        if sender = loc || Slpdas_wsn.Graph.mem_edge graph loc sender then begin
-          (* The slot argument is informational; arrival order carries the
-             TDMA ordering. *)
-          let slot =
-            int_of_float ((time -. normal_start) /. protocol_config.slot_period)
-          in
-          Slpdas_core.Attacker.State.hear obs.attacker ~location:sender ~slot;
-          decide ()
+    (* NextP of Fig. 1 for the paper's attacker: flush a pending decision,
+       then reset the per-period move budget.  Installed below; the zoo
+       classes act per observation and need no period hook. *)
+    let on_period_end = ref (fun () -> ()) in
+    (match obs.watcher with
+    | Zoo _ -> ()
+    | Paper attacker ->
+      let check_capture () =
+        if
+          !(obs.capture_time) = None
+          && Slpdas_core.Attacker.State.location attacker = source
+        then begin
+          obs.capture_time :=
+            Some (Slpdas_sim.Engine.time engine -. normal_start);
+          Slpdas_sim.Engine.stop engine
         end
-      | _ -> ());
+      in
+      (* Flush a pending decision; on a move, publish it on the event bus. *)
+      let decide () =
+        let from_node = Slpdas_core.Attacker.State.location attacker in
+        if Slpdas_core.Attacker.State.decide attacker then begin
+          Slpdas_sim.Engine.emit engine
+            (Slpdas_sim.Event.Attacker_move
+               {
+                 time = Slpdas_sim.Engine.time engine;
+                 from_node;
+                 to_node = Slpdas_core.Attacker.State.location attacker;
+               });
+          check_capture ()
+        end
+      in
+      (* The attacker eavesdrops every transmission audible from its position
+         once the source is active; with R captured messages it decides a move
+         (Fig. 1). *)
+      Slpdas_sim.Engine.subscribe engine (function
+        | Slpdas_sim.Event.Broadcast { time; sender; msg = _ }
+          when time >= normal_start && !(obs.capture_time) = None ->
+          let loc = Slpdas_core.Attacker.State.location attacker in
+          if sender = loc || Slpdas_wsn.Graph.mem_edge graph loc sender then begin
+            (* The slot argument is informational; arrival order carries the
+               TDMA ordering. *)
+            let slot =
+              int_of_float
+                ((time -. normal_start) /. protocol_config.slot_period)
+            in
+            Slpdas_core.Attacker.State.hear attacker ~location:sender ~slot;
+            decide ()
+          end
+        | _ -> ());
+      on_period_end :=
+        fun () ->
+          decide ();
+          Slpdas_core.Attacker.State.period_end attacker);
     (* Schedule/attacker bookkeeping at source activation and at each
        subsequent period boundary. *)
     let rec on_period engine_ =
@@ -135,11 +168,7 @@ let scenario config =
             (Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
                  Slpdas_sim.Engine.node_state engine_ v))
       end
-      else begin
-        (* NextP of Fig. 1: flush a pending decision, then reset the budget. *)
-        decide ();
-        Slpdas_core.Attacker.State.period_end obs.attacker
-      end;
+      else !(on_period_end) ();
       if !(obs.setup_messages) = 0 then
         obs.setup_messages := Slpdas_sim.Engine.broadcasts engine_;
       let next = Slpdas_sim.Engine.time engine_ +. period_length in
@@ -157,8 +186,18 @@ let scenario config =
         Slpdas_core.Protocol.extract_schedule ~n protocol_config (fun v ->
             Slpdas_sim.Engine.node_state engine v)
     in
+    let capture_seconds =
+      match obs.watcher with
+      | Paper _ -> !(obs.capture_time)
+      | Zoo h ->
+        (* The zoo hunter records absolute event time; results are relative
+           to source activation like the paper's attacker. *)
+        Option.map
+          (fun t -> t -. normal_start)
+          (Slpdas_attack.Hunter.capture_time h)
+    in
     let captured =
-      match !(obs.capture_time) with
+      match capture_seconds with
       | Some t -> t <= safety_seconds
       | None -> false
     in
@@ -175,9 +214,15 @@ let scenario config =
     in
     {
       captured;
-      capture_seconds = !(obs.capture_time);
-      attacker_path = Slpdas_core.Attacker.State.path obs.attacker;
-      attacker_final = Slpdas_core.Attacker.State.location obs.attacker;
+      capture_seconds;
+      attacker_path =
+        (match obs.watcher with
+        | Paper a -> Slpdas_core.Attacker.State.path a
+        | Zoo h -> Slpdas_attack.Hunter.path h);
+      attacker_final =
+        (match obs.watcher with
+        | Paper a -> Slpdas_core.Attacker.State.location a
+        | Zoo h -> Slpdas_attack.Hunter.location h);
       schedule;
       strong_das = Slpdas_core.Das_check.is_strong graph schedule;
       weak_das = Slpdas_core.Das_check.is_weak graph schedule;

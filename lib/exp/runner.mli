@@ -25,7 +25,13 @@ type config = {
           {!Slpdas_sim.Engine.create}); [None] is the paper's ideal model *)
   attacker : start:int -> Slpdas_core.Attacker.params;
       (** built at the sink; the paper's evaluation uses
-          {!Slpdas_core.Attacker.canonical} *)
+          {!Slpdas_core.Attacker.canonical}.  Consulted only when [hunter]
+          is [Local] *)
+  hunter : Slpdas_attack.Model.cls;
+      (** adversary class chasing the source ({!Slpdas_attack.Model});
+          [Local] keeps the paper's (R, H, M) slot-based attacker, the
+          other classes observe the event bus through
+          {!Slpdas_attack.Hunter} *)
   seed : int;
 }
 

@@ -40,56 +40,21 @@ let with_engine_impl impl t = { t with engine_impl = impl }
 let map_result f t =
   { t with extract = (fun engine obs -> f (t.extract engine obs)) }
 
+(* The hunter now lives in [Slpdas_attack.Hunter] as one of four adversary
+   classes sharing a single observation interface; this module keeps the
+   historical API as a thin delegate.  The default [?cls] is the paper's
+   local eavesdropper, whose step rule is a bit-identical port of the
+   original inline implementation. *)
 module Hunter = struct
-  type t = {
-    source : int;
-    mutable location : int;
-    mutable path_rev : int list;
-    acted : (int, unit) Hashtbl.t;
-    mutable capture_time : float option;
-  }
+  type t = Slpdas_attack.Hunter.t
 
-  let attach ~start ~source ~message_id engine =
-    let graph =
-      (Slpdas_sim.Engine.topology engine).Slpdas_wsn.Topology.graph
-    in
-    let t =
-      {
-        source;
-        location = start;
-        path_rev = [ start ];
-        acted = Hashtbl.create 64;
-        capture_time = None;
-      }
-    in
-    Slpdas_sim.Engine.subscribe engine (function
-      | Slpdas_sim.Event.Broadcast { time; sender; msg } ->
-        if t.capture_time = None then begin
-          match message_id msg with
-          | Some id
-            when (not (Hashtbl.mem t.acted id))
-                 && (sender = t.location
-                    || Slpdas_wsn.Graph.mem_edge graph t.location sender) ->
-            Hashtbl.add t.acted id ();
-            if sender <> t.location then begin
-              Slpdas_sim.Engine.emit engine
-                (Slpdas_sim.Event.Attacker_move
-                   { time; from_node = t.location; to_node = sender });
-              t.location <- sender;
-              t.path_rev <- sender :: t.path_rev;
-              if sender = t.source then begin
-                t.capture_time <- Some time;
-                Slpdas_sim.Engine.stop engine
-              end
-            end
-          | Some _ | None -> ()
-        end
-      | _ -> ());
-    t
+  let attach ?(cls = Slpdas_attack.Model.Local) ?(seed = 0) ~start ~source
+      ~message_id engine =
+    Slpdas_attack.Hunter.attach cls ~start ~source ~seed ~message_id engine
 
-  let location t = t.location
+  let location = Slpdas_attack.Hunter.location
 
-  let path t = List.rev t.path_rev
+  let path = Slpdas_attack.Hunter.path
 
-  let capture_time t = t.capture_time
+  let capture_time = Slpdas_attack.Hunter.capture_time
 end

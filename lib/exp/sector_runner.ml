@@ -1,7 +1,7 @@
 type config = {
   topology : Slpdas_wsn.Topology.t;
-  fake_sources : int list;
-  fake_rate_multiplier : float;
+  walk_length : int;
+  num_sectors : int;
   link : Slpdas_sim.Link_model.t;
   seed : int;
 }
@@ -13,8 +13,8 @@ type result = {
   messages_sent : int;
   broadcasts_by_node : int array;
   duration_seconds : float;
-  real_delivered : int;
-  fake_delivered : int;
+  source_messages : int;
+  delivered : int;
   safety_seconds : float;
   delta_ss : int;
 }
@@ -26,10 +26,10 @@ let scenario ?(hunter = Slpdas_attack.Model.Local) config =
   let delta_ss = Slpdas_wsn.Topology.source_sink_distance topology in
   let protocol =
     {
-      (Slpdas_core.Fake_source.default_config ~topology
-         ~fake_sources:config.fake_sources
-         ~fake_rate_multiplier:config.fake_rate_multiplier)
+      (Slpdas_core.Sector_phantom.default_config ~topology
+         ~walk_length:config.walk_length)
       with
+      num_sectors = config.num_sectors;
       run_seed = config.seed;
     }
   in
@@ -39,14 +39,15 @@ let scenario ?(hunter = Slpdas_attack.Model.Local) config =
   in
   let attach engine =
     Scenario.Hunter.attach ~cls:hunter ~seed:config.seed ~start:sink ~source
-      ~message_id:Slpdas_core.Fake_source.message_id engine
+      ~message_id:Slpdas_core.Sector_phantom.message_id engine
   in
   let extract engine hunter =
     let capture_seconds =
       Option.map
-        (fun t -> t -. protocol.Slpdas_core.Fake_source.start_time)
+        (fun t -> t -. protocol.Slpdas_core.Sector_phantom.start_time)
         (Scenario.Hunter.capture_time hunter)
     in
+    let source_state = Slpdas_sim.Engine.node_state engine source in
     let sink_state = Slpdas_sim.Engine.node_state engine sink in
     {
       captured =
@@ -58,17 +59,18 @@ let scenario ?(hunter = Slpdas_attack.Model.Local) config =
       messages_sent = Slpdas_sim.Engine.broadcasts engine;
       broadcasts_by_node = Slpdas_sim.Engine.broadcasts_by_node engine;
       duration_seconds = Slpdas_sim.Engine.time engine;
-      real_delivered =
-        List.length sink_state.Slpdas_core.Fake_source.received_real;
-      fake_delivered = sink_state.Slpdas_core.Fake_source.received_fake;
+      source_messages = source_state.Slpdas_core.Sector_phantom.next_id;
+      delivered =
+        List.length (Slpdas_core.Sector_phantom.sink_received sink_state);
       safety_seconds;
       delta_ss;
     }
   in
-  Scenario.make ~name:"fake-source" ~topology ~link:config.link
-    ~engine_seed:(config.seed lxor 0xfa4e)
-    ~program:(Slpdas_core.Fake_source.program protocol)
-    ~deadline:(protocol.Slpdas_core.Fake_source.start_time +. safety_seconds)
+  Scenario.make ~name:"sector-phantom" ~topology ~link:config.link
+    ~engine_seed:(config.seed lxor 0x5ec_70)
+    ~program:(Slpdas_core.Sector_phantom.program protocol)
+    ~deadline:
+      (protocol.Slpdas_core.Sector_phantom.start_time +. safety_seconds)
     ~attach ~extract ()
 
 let run ?hunter config = Harness.run (scenario ?hunter config)

@@ -24,11 +24,24 @@ type config = {
   detect_after : float option;
       (** failure-detection latency fed to {!Injector.arm}; default one
           dissemination period *)
+  attacker : Slpdas_attack.Model.cls;
+      (** adversary class the δ-SLP probes certify against: [Local] runs
+          the exhaustive {!Slpdas_core.Verifier} (with incremental
+          re-verification after the faults); every other class probes via
+          seeded Monte-Carlo certification
+          ({!Slpdas_serve.Service.mc_certify}, 64 trials seeded from
+          [seed]), where "aware" means zero captures.  Named in the
+          resulting {!Resilience.report.attacker}. *)
 }
 
 val default_config :
-  ?mode:Slpdas_core.Protocol.mode -> dim:int -> seed:int -> Fault_plan.t -> config
-(** Table-I parameters, [Fast] engine, SLP mode. *)
+  ?mode:Slpdas_core.Protocol.mode ->
+  ?attacker:Slpdas_attack.Model.cls ->
+  dim:int ->
+  seed:int ->
+  Fault_plan.t ->
+  config
+(** Table-I parameters, [Fast] engine, SLP mode, [Local] attacker. *)
 
 val churn_plan :
   params:Slpdas_exp.Params.t ->

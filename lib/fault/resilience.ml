@@ -58,6 +58,7 @@ type report = {
   name : string;
   seed : int;
   nodes : int;
+  attacker : string;
   crashes : int;
   revivals : int;
   link_ops : int;
@@ -76,6 +77,7 @@ type report = {
 
 type counters = {
   runs : int;
+  attacker : string;
   crashes : int;
   revivals : int;
   link_ops : int;
@@ -96,6 +98,7 @@ type counters = {
 let empty =
   {
     runs = 0;
+    attacker = "";
     crashes = 0;
     revivals = 0;
     link_ops = 0;
@@ -131,6 +134,7 @@ let of_report (r : report) =
   let slp_after_aware, slp_after_known = opt_flags r.slp_after in
   {
     runs = 1;
+    attacker = r.attacker;
     crashes = r.crashes;
     revivals = r.revivals;
     link_ops = r.link_ops;
@@ -151,6 +155,9 @@ let of_report (r : report) =
 let merge a b =
   {
     runs = a.runs + b.runs;
+    (* First non-empty wins: a homogeneous run set keeps its class name, and
+       the fold order of [merge_all] makes the pick byte-stable. *)
+    attacker = (if String.equal a.attacker "" then b.attacker else a.attacker);
     crashes = a.crashes + b.crashes;
     revivals = a.revivals + b.revivals;
     link_ops = a.link_ops + b.link_ops;
@@ -187,6 +194,8 @@ let to_json c =
   let b = Buffer.create 256 in
   let field name v = Printf.bprintf b "  %S: %d,\n" name v in
   Buffer.add_string b "{\n";
+  Printf.bprintf b "  %S: %S,\n" "attacker"
+    (if String.equal c.attacker "" then "local" else c.attacker);
   field "runs" c.runs;
   field "crashes" c.crashes;
   field "revivals" c.revivals;

@@ -85,6 +85,9 @@ type report = {
   name : string;
   seed : int;
   nodes : int;
+  attacker : string;
+      (** the adversary class ({!Slpdas_attack.Model.to_string}) the
+          [slp_before]/[slp_after] verdicts certify against *)
   crashes : int;  (** total crash-stop operations executed *)
   revivals : int;
   link_ops : int;  (** link overrides plus burst set/clear operations *)
@@ -92,10 +95,13 @@ type report = {
   weak_final : bool;  (** alive-restricted weak DAS of the final schedule *)
   strong_final : bool;
   slp_before : bool option;
-      (** δ-SLP-awareness ({!Slpdas_core.Verifier}) of the last schedule
-          probe before the first fault; [None] if no probe preceded it *)
+      (** δ-SLP-awareness of the last schedule probe before the first
+          fault, certified against [attacker] — exhaustively
+          ({!Slpdas_core.Verifier}) for the local class, by seeded
+          Monte-Carlo zero-capture for the others; [None] if no probe
+          preceded it *)
   slp_after : bool option;
-      (** δ-SLP-awareness of the final masked schedule *)
+      (** δ-SLP-awareness of the final masked schedule, same certifier *)
   unrepaired : int;
       (** alive-reachable non-sink nodes still slotless at the end *)
   alive_unreachable : int;
@@ -108,6 +114,10 @@ type report = {
 
 type counters = {
   runs : int;
+  attacker : string;
+      (** adversary class of the merged runs; [""] for {!empty}, first
+          non-empty name wins on {!merge} (byte-stable under
+          {!merge_all}'s input-order fold) *)
   crashes : int;
   revivals : int;
   link_ops : int;

@@ -34,6 +34,13 @@ type summary = {
   ssrc : string;  (* normalized source path of the defining unit *)
   sloc : Location.t;
   mutable mut_params : string list;  (* keys of mutated parameters *)
+  mutable rng_params : string list;
+  (* keys of parameters the function draws randomness through — an Rng.t
+     parameter it uses, or a record parameter whose Rng.t field it reads
+     (directly or via a callee).  A caller handing such a parameter a
+     value captured from outside a Pool task is sharing one generator
+     across lanes even though no Rng.t-typed ident appears at the
+     boundary. *)
   mutable ambient_mut : Location.t option;
   mutable ambient_rng : Location.t option;
   mutable raises : Location.t option;
@@ -166,6 +173,13 @@ let scan st ~classify ~(ev : events) body =
         | _ -> ())
       | _ -> ());
       if Tast_walk.is_rng_type st e.exp_type then ev.rng cls e.exp_loc
+    | Texp_field (obj, _, _) ->
+      (* [cfg.rng]: the record ident is not Rng.t-typed, so the Texp_ident
+         case above never fires — attribute the draw to the record's own
+         class (a Param record parameter, a captured Ambient record, ...). *)
+      if Tast_walk.is_rng_type st e.exp_type then
+        ev.rng (classify_head obj) e.exp_loc;
+      Tast_iterator.default_iterator.expr self e
     | Texp_try (b, cases) ->
       incr depth;
       self.Tast_iterator.expr self b;
@@ -270,6 +284,7 @@ let summarize_fn st ~src ~comps vb =
       ssrc = src;
       sloc = vb.vb_loc;
       mut_params = [];
+      rng_params = [];
       ambient_mut = None;
       ambient_rng = None;
       raises = None;
@@ -293,7 +308,10 @@ let summarize_fn st ~src ~comps vb =
           match cls with
           | Ambient _ ->
             if Option.is_none s.ambient_rng then s.ambient_rng <- Some loc
-          | _ -> ());
+          | Param k ->
+            if not (List.mem k s.rng_params) then
+              s.rng_params <- k :: s.rng_params
+          | Local | Opaque -> ());
       call =
         (fun callee cargs cloc ~in_try ->
           s.calls <-
@@ -377,7 +395,7 @@ let propagate (g : t) =
               List.iter
                 (fun (key, cls) ->
                   if List.mem key callee.mut_params then
-                    match cls with
+                    (match cls with
                     | Param k ->
                       if not (List.mem k s.mut_params) then begin
                         s.mut_params <- k :: s.mut_params;
@@ -386,6 +404,21 @@ let propagate (g : t) =
                     | Ambient _ ->
                       if Option.is_none s.ambient_mut then begin
                         s.ambient_mut <- Some c.cloc;
+                        changed := true
+                      end
+                    | Local | Opaque -> ());
+                  if List.mem key callee.rng_params then
+                    match cls with
+                    | Param k ->
+                      if not (List.mem k s.rng_params) then begin
+                        s.rng_params <- k :: s.rng_params;
+                        changed := true
+                      end
+                    | Ambient _ ->
+                      (* An ambient value fed to a draws-through parameter is
+                         an ambient draw for every caller above. *)
+                      if Option.is_none s.ambient_rng then begin
+                        s.ambient_rng <- Some c.cloc;
                         changed := true
                       end
                     | Local | Opaque -> ())

@@ -26,6 +26,12 @@ type summary = {
   ssrc : string;  (** normalized source path of the defining unit *)
   sloc : Location.t;
   mutable mut_params : string list;  (** keys of mutated parameters *)
+  mutable rng_params : string list;
+      (** keys of parameters the function draws randomness through — an
+          [Rng.t] parameter it uses, or a record parameter whose [Rng.t]
+          field it reads, directly or via a callee.  Feeding such a
+          parameter a value captured from outside a Pool task shares one
+          generator across lanes with no [Rng.t] ident at the boundary. *)
   mutable ambient_mut : Location.t option;
   mutable ambient_rng : Location.t option;
   mutable raises : Location.t option;

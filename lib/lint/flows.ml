@@ -71,6 +71,25 @@ let check_closure graph st ~rng_on ~pool_on ~diags lit =
                  Pool/Domain task; thread a per-lane handle through its \
                  arguments instead"
                 sum.Callgraph.sfn;
+            if rng_on then
+              List.iter
+                (fun (key, cls) ->
+                  match cls with
+                  | Callgraph.Ambient comps
+                    when List.mem key sum.Callgraph.rng_params ->
+                    (* e.g. a Monte-Carlo trial helper handed a captured
+                       record whose Rng.t field it draws from: no Rng.t
+                       ident crosses the boundary, but the lanes still race
+                       on one generator. *)
+                    diag diags "rng-flow" loc
+                      "captured %s feeds a parameter %s draws randomness \
+                       through inside a Pool/Domain task; derive a per-lane \
+                       handle (Rng.split outside the submission, or \
+                       Rng.create from a per-lane seed) and pass that \
+                       instead"
+                      (dotted comps) sum.Callgraph.sfn
+                  | _ -> ())
+                cargs;
             if pool_on then begin
               if Option.is_some sum.Callgraph.ambient_mut then
                 diag diags "pool-escape" loc

@@ -133,10 +133,13 @@ let all =
       summary =
         "typed tier: a Slpdas_util.Rng.t handle captured from the enclosing \
          scope is used inside a closure submitted to Pool.map / \
-         Pool.map_array / Pool.rounds / Domain.spawn (directly, or via a \
-         helper that draws from ambient RNG state): parallel tasks racing \
-         on one generator destroy byte-identical replay; pre-split one \
-         lane per task (Rng.split, in submission order) and pass it \
+         Pool.map_array / Pool.rounds / Domain.spawn (directly, via a \
+         helper that draws from ambient RNG state, or by handing a \
+         captured value — e.g. a config record with an Rng.t field — to a \
+         callee parameter the interprocedural summary marks as \
+         draws-through): parallel tasks racing on one generator destroy \
+         byte-identical replay; pre-split one lane per task (Rng.split, in \
+         submission order, or Rng.create from a per-lane seed) and pass it \
          through the task parameter";
       tier = Typed;
       applies = (fun _ -> true);

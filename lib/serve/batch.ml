@@ -76,3 +76,89 @@ let run_many ?(domains = 1) service items =
   |> List.map (function
        | Some a -> a
        | None -> assert false (* every index is cache-resolved or assigned *))
+
+type mc_item = {
+  mc_graph : Slpdas_wsn.Graph.t;
+  mc_schedule : Slpdas_core.Schedule.t;
+  cls : Slpdas_attack.Model.cls;
+  mc_attacker : Slpdas_core.Attacker.params;
+  trials : int;
+  seed : int;
+  mc_safety_period : int;
+  mc_source : int;
+}
+
+(* Same three-phase shape as [run_many]: cache-serve and dedup in the
+   calling domain, certify the distinct jobs in the pool (each certification
+   runs its trials sequentially — [~domains:1] — so pools never nest), then
+   integrate and scatter.  Fan-out is over jobs, not trials, which keeps the
+   per-job trial order, and hence every answer, domain-count-invariant. *)
+let run_many_mc ?(domains = 1) service items =
+  if domains < 1 then invalid_arg "Batch.run_many_mc: domains must be >= 1";
+  let items_arr = Array.of_list items in
+  let n = Array.length items_arr in
+  let results = Array.make n None in
+  let cache = Service.mc_cache service in
+  let by_key = Hashtbl.create 64 in
+  let jobs_rev = ref [] in
+  let job_count = ref 0 in
+  let assignments_rev = ref [] in
+  let new_job it q =
+    let j = !job_count in
+    incr job_count;
+    jobs_rev := (it, q) :: !jobs_rev;
+    j
+  in
+  Array.iteri
+    (fun i it ->
+      match
+        Mc_query.of_request it.mc_graph it.mc_schedule ~cls:it.cls
+          ~attacker:it.mc_attacker ~trials:it.trials ~seed:it.seed
+          ~safety_period:it.mc_safety_period ~source:it.mc_source
+      with
+      | Some q ->
+        (match Service.Mc_cache.find cache q with
+        | Some a -> results.(i) <- Some a
+        | None ->
+          let key = Mc_query.key q in
+          let j =
+            match Hashtbl.find_opt by_key key with
+            | Some j -> j
+            | None ->
+              let j = new_job it (Some q) in
+              Hashtbl.replace by_key key j;
+              j
+          in
+          assignments_rev := (i, j) :: !assignments_rev)
+      | None -> assignments_rev := (i, new_job it None) :: !assignments_rev)
+    items_arr;
+  let job_arr = Array.of_list (List.rev !jobs_rev) in
+  let answers =
+    if Array.length job_arr = 0 then [||]
+    else
+      Slpdas_util.Pool.with_pool ~domains (fun pool ->
+          Slpdas_util.Pool.map_array pool
+            (fun (it, _) ->
+              Slpdas_attack.Mc_verify.certify ~domains:1
+                {
+                  Slpdas_attack.Mc_verify.cls = it.cls;
+                  attacker = it.mc_attacker;
+                  trials = it.trials;
+                  seed = it.seed;
+                }
+                it.mc_graph it.mc_schedule ~safety_period:it.mc_safety_period
+                ~source:it.mc_source)
+            job_arr)
+  in
+  Array.iteri
+    (fun j (_, q) ->
+      match q with
+      | Some q -> Service.Mc_cache.store cache q answers.(j)
+      | None -> ())
+    job_arr;
+  List.iter (fun (i, j) -> results.(i) <- Some answers.(j)) !assignments_rev;
+  Service.account service ~served:n ~computed:(Array.length job_arr);
+  Array.to_list results
+  |> List.map (function
+       | Some a -> a
+       | None -> assert false (* every index is cache-resolved or assigned *))

@@ -23,3 +23,23 @@ val run_many : ?domains:int -> Service.t -> item list -> Query.answer list
     items (rng-driven deciders) are never deduplicated — each is computed
     independently, in the pool like everything else.
     @raise Invalid_argument if [domains < 1]. *)
+
+type mc_item = {
+  mc_graph : Slpdas_wsn.Graph.t;
+  mc_schedule : Slpdas_core.Schedule.t;
+  cls : Slpdas_attack.Model.cls;
+  mc_attacker : Slpdas_core.Attacker.params;
+  trials : int;
+  seed : int;
+  mc_safety_period : int;
+  mc_source : int;
+}
+
+val run_many_mc :
+  ?domains:int -> Service.t -> mc_item list -> Mc_query.answer list
+(** Monte-Carlo analogue of {!run_many}: serve from the service's MC cache,
+    certify the distinct misses in the pool (one job per distinct query;
+    each job runs its trials sequentially so pools never nest), integrate
+    the fresh answers, and return input-order results that are
+    byte-identical at any [domains] value.
+    @raise Invalid_argument if [domains < 1]. *)

@@ -12,8 +12,6 @@
     verification keeps the cache in the coordinating domain and hands the
     pool pure closures ({!Batch.run_many}). *)
 
-type t
-
 type stats = {
   hits : int;  (** answers served from memory *)
   disk_hits : int;  (** answers served from the disk tier (then promoted) *)
@@ -22,19 +20,55 @@ type stats = {
   evictions : int;  (** LRU evictions from the memory tier *)
 }
 
-val create : ?capacity:int -> ?dir:string -> unit -> t
-(** [create ()] is a memory-only cache holding [capacity] (default 4096)
-    answers.  With [~dir], answers are also written to and read from that
-    directory (created if missing).
-    @raise Invalid_argument if [capacity < 1]. *)
+(** What a cacheable answer kind must provide: a stable key per query, a
+    single-line answer codec, and a versioned file header.  Distinct answer
+    kinds use distinct headers, so they can share one directory without any
+    risk of aliasing (header and stored key are both checked on read). *)
+module type CODEC = sig
+  type query
 
-val find : t -> Query.t -> Query.answer option
-(** Memory first, then disk (a disk hit is promoted to memory).  An
-    unreadable, truncated or mismatched disk file counts as a miss. *)
+  val key : query -> string
+  (** Stable, injective digest of the query (newline-free). *)
 
-val store : t -> Query.t -> Query.answer -> unit
-(** Insert into memory (evicting the least-recently-used entry beyond
-    capacity) and, when a directory is configured, write the answer file
-    atomically (temp file + rename). *)
+  type answer
 
-val stats : t -> stats
+  val encode : answer -> string
+  (** One line, newline-free. *)
+
+  val decode : string -> (answer, string) result
+
+  val header : string
+  (** Versioned format tag, e.g. ["slp-serve v1"]. *)
+end
+
+module type S = sig
+  type query
+
+  type answer
+
+  type t
+
+  val create : ?capacity:int -> ?dir:string -> unit -> t
+  (** [create ()] is a memory-only cache holding [capacity] (default 4096)
+      answers.  With [~dir], answers are also written to and read from that
+      directory (created if missing).
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val find : t -> query -> answer option
+  (** Memory first, then disk (a disk hit is promoted to memory).  An
+      unreadable, truncated or mismatched disk file counts as a miss. *)
+
+  val store : t -> query -> answer -> unit
+  (** Insert into memory (evicting the least-recently-used entry beyond
+      capacity) and, when a directory is configured, write the answer file
+      atomically (temp file + rename). *)
+
+  val stats : t -> stats
+end
+
+module Make (C : CODEC) : S with type query = C.query and type answer = C.answer
+
+(** The classic verification-answer cache: {!Make} over the {!Query} codec
+    with the original ["slp-serve v1"] header — pre-existing cache
+    directories stay readable. *)
+include S with type query = Query.t and type answer = Query.answer

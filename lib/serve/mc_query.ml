@@ -1,0 +1,98 @@
+(* The Monte-Carlo certification query kind.
+
+   Same design as [Query], one level up: a query is the full semantic
+   content of a certification request — graph fingerprint, schedule digest,
+   attacker class, (R, H, M, start) budget, decider, trial count, seed,
+   safety period and source — digested into a stable key, so equal keys
+   provably denote equal certification inputs.  The trial count and seed
+   are part of the key: a 64-trial answer never masquerades as a 1024-trial
+   one, and different seeds are different experiments.
+
+   The cached answer is the integer triple (trials, captures, min_periods);
+   the derived statistics (p-hat, Wilson bounds) are recomputed on decode
+   via [Mc_verify.make_result], which is deterministic, so cached and fresh
+   answers are bit-equal. *)
+
+type t = {
+  graph_fp : string;
+  sched_digest : string;
+  cls : Slpdas_attack.Model.cls;
+  r : int;
+  h : int;
+  m : int;
+  start : int;
+  decider : Query.decider;
+  trials : int;
+  seed : int;
+  safety_period : int;
+  source : int;
+}
+
+let of_request g sched ~cls ~attacker ~trials ~seed ~safety_period ~source =
+  match Query.decider_of_name attacker.Slpdas_core.Attacker.decide_name with
+  | None -> None
+  | Some decider ->
+    Some
+      {
+        graph_fp = Slpdas_wsn.Graph.fingerprint g;
+        sched_digest = Slpdas_core.Schedule.digest sched;
+        cls;
+        r = attacker.Slpdas_core.Attacker.r;
+        h = attacker.Slpdas_core.Attacker.h;
+        m = attacker.Slpdas_core.Attacker.m;
+        start = attacker.Slpdas_core.Attacker.start;
+        decider;
+        trials;
+        seed;
+        safety_period;
+        source;
+      }
+
+let spec q =
+  {
+    Slpdas_attack.Mc_verify.cls = q.cls;
+    attacker = Query.make_attacker q.decider ~r:q.r ~h:q.h ~m:q.m ~start:q.start;
+    trials = q.trials;
+    seed = q.seed;
+  }
+
+let key q =
+  Printf.sprintf "mc1|%s|%s|c%s|r%d|h%d|m%d|a%d|d%s|t%d|x%d|p%d|s%d" q.graph_fp
+    q.sched_digest
+    (Slpdas_attack.Model.key_fragment q.cls)
+    q.r q.h q.m q.start
+    (Query.decider_name q.decider)
+    q.trials q.seed q.safety_period q.source
+
+let equal a b = String.equal (key a) (key b)
+
+type answer = Slpdas_attack.Mc_verify.result
+
+let answer_equal (a : answer) (b : answer) =
+  a.Slpdas_attack.Mc_verify.trials = b.Slpdas_attack.Mc_verify.trials
+  && a.Slpdas_attack.Mc_verify.captures = b.Slpdas_attack.Mc_verify.captures
+  && a.Slpdas_attack.Mc_verify.min_periods
+     = b.Slpdas_attack.Mc_verify.min_periods
+
+let encode_answer (a : answer) =
+  Printf.sprintf "mc %d %d %s" a.Slpdas_attack.Mc_verify.trials
+    a.Slpdas_attack.Mc_verify.captures
+    (match a.Slpdas_attack.Mc_verify.min_periods with
+    | None -> "-"
+    | Some p -> string_of_int p)
+
+let decode_answer line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "mc"; trials; captures; min_periods ] -> (
+    match
+      ( int_of_string_opt trials,
+        int_of_string_opt captures,
+        if String.equal min_periods "-" then Some None
+        else Option.map Option.some (int_of_string_opt min_periods) )
+    with
+    | Some trials, Some captures, Some min_periods ->
+      Ok (Slpdas_attack.Mc_verify.make_result ~trials ~captures ~min_periods)
+    | _ -> Error "malformed mc answer line")
+  | _ -> Error "unrecognized mc answer line"
+
+let file_header = "slp-serve-mc v1"

@@ -1,0 +1,67 @@
+(** Canonical Monte-Carlo certification queries.
+
+    The MC analogue of {!Query}: a certification request is fully determined
+    by the graph structure, the schedule content, the attacker class, the
+    (R, H, M, start) budget and decider, the trial count, the root seed, the
+    safety period and the source — all of which enter the {!key}, so equal
+    keys provably denote equal certification inputs.  Trial count and seed
+    are part of the identity: answers at different statistical strengths (or
+    from different experiments) never alias.
+
+    Like {!Query.of_request}, only registered pure deciders are
+    representable; an rng-driven decider makes the request uncacheable and
+    {!of_request} returns [None]. *)
+
+type t = {
+  graph_fp : string;
+  sched_digest : string;
+  cls : Slpdas_attack.Model.cls;
+  r : int;
+  h : int;
+  m : int;
+  start : int;
+  decider : Query.decider;
+  trials : int;
+  seed : int;
+  safety_period : int;
+  source : int;
+}
+
+val of_request :
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  cls:Slpdas_attack.Model.cls ->
+  attacker:Slpdas_core.Attacker.params ->
+  trials:int ->
+  seed:int ->
+  safety_period:int ->
+  source:int ->
+  t option
+(** [None] when [attacker.decide_name] names no registered pure decider —
+    the request is not cacheable and must be certified directly. *)
+
+val spec : t -> Slpdas_attack.Mc_verify.spec
+(** Rebuild the certification spec the query describes (attacker from the
+    registry, as {!Query.attacker}). *)
+
+val key : t -> string
+(** Stable injective encoding, ["mc1|…"] — never aliases a {!Query.key}. *)
+
+val equal : t -> t -> bool
+
+type answer = Slpdas_attack.Mc_verify.result
+
+val answer_equal : answer -> answer -> bool
+(** Equality on the integer triple (trials, captures, min_periods); the
+    float fields are derived from it deterministically. *)
+
+val encode_answer : answer -> string
+(** One line: [mc <trials> <captures> <min_periods|->].  Round-trips
+    through {!decode_answer}, which rebuilds the derived statistics via
+    {!Slpdas_attack.Mc_verify.make_result}. *)
+
+val decode_answer : string -> (answer, string) result
+
+val file_header : string
+(** ["slp-serve-mc v1"] — distinct from the exhaustive cache's header, so
+    both answer kinds can share one disk directory without aliasing. *)

@@ -1,5 +1,18 @@
+module Mc_cache = Cache.Make (struct
+  type query = Mc_query.t
+
+  let key = Mc_query.key
+
+  type answer = Mc_query.answer
+
+  let encode = Mc_query.encode_answer
+  let decode = Mc_query.decode_answer
+  let header = Mc_query.file_header
+end)
+
 type t = {
   cache : Cache.t;
+  mc_cache : Mc_cache.t;
   (* Certificates are memory-only (a visited-state array does not belong in
      a byte-stable disk store) and keyed like answers. *)
   certs : (string, Slpdas_core.Verifier.certificate) Hashtbl.t;
@@ -13,11 +26,14 @@ type stats = {
   computed : int;
   incremental : int;
   cache : Cache.stats;
+  mc : Cache.stats;
 }
 
 let create ?capacity ?cache_dir () =
   {
     cache = Cache.create ?capacity ?dir:cache_dir ();
+    (* Distinct file headers make one shared directory alias-free. *)
+    mc_cache = Mc_cache.create ?capacity ?dir:cache_dir ();
     certs = Hashtbl.create 64;
     n_served = 0;
     n_computed = 0;
@@ -133,15 +149,39 @@ let reverify t g ~prev sched ~attacker ~safety_period ~source =
         store_answer { Query.outcome; explored = n };
         (outcome, Full n)))
 
+let mc_certify ?domains t g sched ~cls ~attacker ~trials ~seed ~safety_period
+    ~source =
+  t.n_served <- t.n_served + 1;
+  let compute () =
+    t.n_computed <- t.n_computed + 1;
+    Slpdas_attack.Mc_verify.certify ?domains
+      { Slpdas_attack.Mc_verify.cls; attacker; trials; seed }
+      g sched ~safety_period ~source
+  in
+  match
+    Mc_query.of_request g sched ~cls ~attacker ~trials ~seed ~safety_period
+      ~source
+  with
+  | None -> compute ()
+  | Some q ->
+    (match Mc_cache.find t.mc_cache q with
+    | Some answer -> answer
+    | None ->
+      let answer = compute () in
+      Mc_cache.store t.mc_cache q answer;
+      answer)
+
 let stats t =
   {
     served = t.n_served;
     computed = t.n_computed;
     incremental = t.n_incremental;
     cache = Cache.stats t.cache;
+    mc = Mc_cache.stats t.mc_cache;
   }
 
 let cache (t : t) = t.cache
+let mc_cache (t : t) = t.mc_cache
 
 let account t ~served ~computed =
   t.n_served <- t.n_served + served;

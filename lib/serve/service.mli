@@ -16,11 +16,18 @@
 
 type t
 
+(** The Monte-Carlo answer cache: {!Cache.Make} over the {!Mc_query} codec.
+    Shares the service's [cache_dir] with the exhaustive cache — the
+    distinct file headers keep the two answer kinds alias-free. *)
+module Mc_cache :
+  Cache.S with type query = Mc_query.t and type answer = Mc_query.answer
+
 type stats = {
   served : int;  (** requests answered (including uncacheable ones) *)
-  computed : int;  (** full verifications actually run *)
+  computed : int;  (** full verifications / certifications actually run *)
   incremental : int;  (** requests answered by frontier re-exploration *)
   cache : Cache.stats;
+  mc : Cache.stats;  (** the Monte-Carlo answer cache's counters *)
 }
 
 val create : ?capacity:int -> ?cache_dir:string -> unit -> t
@@ -92,6 +99,26 @@ val reverify :
     [Verifier.verify g sched …]; [how] says what it cost.  The new answer
     is stored in the cache. *)
 
+val mc_certify :
+  ?domains:int ->
+  t ->
+  Slpdas_wsn.Graph.t ->
+  Slpdas_core.Schedule.t ->
+  cls:Slpdas_attack.Model.cls ->
+  attacker:Slpdas_core.Attacker.params ->
+  trials:int ->
+  seed:int ->
+  safety_period:int ->
+  source:int ->
+  Slpdas_attack.Mc_verify.result
+(** Cached front for {!Slpdas_attack.Mc_verify.certify}: repeated
+    certifications of the same (graph, schedule, class, budget, trials,
+    seed, safety period, source) are served from the MC cache.  [?domains]
+    (default 1) parallelises only a cache miss's trial loop; the answer is
+    byte-identical at any value.  Uncacheable attackers (rng-driven
+    deciders) are certified directly every time.
+    @raise Invalid_argument as {!Slpdas_attack.Mc_verify.certify}. *)
+
 val stats : t -> stats
 
 (**/**)
@@ -99,6 +126,9 @@ val stats : t -> stats
 val cache : t -> Cache.t
 (** The underlying cache — shared with {!Batch}, which resolves hits and
     integrates fresh answers in the calling domain. *)
+
+val mc_cache : t -> Mc_cache.t
+(** The Monte-Carlo answer cache — shared with {!Batch.run_many_mc}. *)
 
 val account : t -> served:int -> computed:int -> unit
 (** Accounting hook for {!Batch}: add a batch's request and computation

@@ -52,12 +52,12 @@ let test_das_run_many_matches_sequential () =
   Alcotest.(check bool) "identical per-seed results" true (sequential = fanned)
 
 let test_phantom_run_many_matches_sequential () =
-  let sequential = List.map Phantom_runner.run phantom_configs in
+  let sequential = List.map (fun c -> Phantom_runner.run c) phantom_configs in
   let fanned = Phantom_runner.run_many ~domains:3 phantom_configs in
   Alcotest.(check bool) "identical per-seed results" true (sequential = fanned)
 
 let test_fake_run_many_matches_sequential () =
-  let sequential = List.map Fake_runner.run fake_configs in
+  let sequential = List.map (fun c -> Fake_runner.run c) fake_configs in
   let fanned = Fake_runner.run_many ~domains:3 fake_configs in
   Alcotest.(check bool) "identical per-seed results" true (sequential = fanned)
 

@@ -442,6 +442,40 @@ let test_rng_flow () =
       ^ "let go pool xs =\n\
         \  Pool.map pool (fun seed -> Rng.int (Rng.create seed) 10) xs"))
 
+let test_rng_flow_record_param () =
+  (* The acceptance fixture: a Monte-Carlo-style trial helper draws through
+     a record parameter's Rng.t field, and the Pool closure hands it a
+     captured record.  No Rng.t-typed ident crosses the closure boundary,
+     so the syntactic tier (and the plain captured-ident typed check) are
+     both blind; only the draws-through parameter summary sees it. *)
+  let wrapped =
+    pool_stub ^ rng_stub
+    ^ "type cfg = { rng : Rng.t; budget : int }\n\
+       let trial c i = Rng.int c.rng (c.budget + i)\n\
+       let go pool (c : cfg) xs = Pool.map pool (fun i -> trial c i) xs"
+  in
+  check_clean "syntactic tier misses the wrapped handle" (lint wrapped);
+  check_fires "typed tier tracks the draw through the record param" "rng-flow"
+    (tlint wrapped);
+  (* Same helper, per-lane handles: each task builds its own record from a
+     split lane, so nothing captured feeds the draws-through parameter. *)
+  check_clean "per-lane records through Rng.split are sanctioned"
+    (tlint
+       (pool_stub ^ rng_stub
+      ^ "type cfg = { rng : Rng.t; budget : int }\n\
+         let trial c i = Rng.int c.rng (c.budget + i)\n\
+         let go pool rng xs =\n\
+        \  let lanes = Rng.split rng (List.length xs) in\n\
+        \  Pool.map pool (fun i -> trial { rng = lanes.(i); budget = 3 } i) \
+         xs"));
+  (* Direct field draw from a captured record, no helper at all. *)
+  check_fires "captured record field drawn directly" "rng-flow"
+    (tlint
+       (pool_stub ^ rng_stub
+      ^ "type cfg = { rng : Rng.t; budget : int }\n\
+         let go pool (c : cfg) xs =\n\
+        \  Pool.map pool (fun i -> Rng.int c.rng i) xs"))
+
 (* ------------------------------------------------------------------ *)
 (* Typed tier: decider purity                                         *)
 (* ------------------------------------------------------------------ *)
@@ -653,6 +687,8 @@ let () =
           Alcotest.test_case "pool-escape: direct and exempt" `Quick
             test_pool_escape_direct_and_exempt;
           Alcotest.test_case "rng-flow" `Quick test_rng_flow;
+          Alcotest.test_case "rng-flow record param" `Quick
+            test_rng_flow_record_param;
           Alcotest.test_case "decider purity" `Quick test_decider_purity;
         ] );
       ( "reporting",
